@@ -1,0 +1,61 @@
+"""The position-hard workload: primitiveness-style constraints (§8, footnote 10).
+
+These are the instances "unsolvable by state-of-the-art solvers" that motivate
+the ¬contains procedure of §6.4: single disequalities or ¬contains predicates
+over concatenations of variables with flat languages.  The example also shows
+the NP-hardness reduction of Lemma 7.2 in action (3-SAT as disequalities).
+
+Run with::
+
+    python examples/primitive_words.py
+"""
+
+from repro import Contains, Problem, PositionSolver, RegexMembership, SolverConfig, WordEquation, term
+from repro.benchgen import sat_reductions
+
+
+def show(title, result):
+    model = result.model.strings if result.model else ""
+    print(f"{title:48} -> {result.status.value:7} {model}")
+
+
+def main():
+    solver = PositionSolver(SolverConfig(timeout=60.0))
+
+    # Primitiveness-flavoured ¬contains: x never occurs inside x·x is
+    # impossible (x occurs at offset 0), so the constraint is unsatisfiable.
+    problem = Problem(alphabet=tuple("abc"), name="self-containment")
+    problem.add(RegexMembership("x", "(ab)*"))
+    problem.add(Contains(term("x"), term("x", "x"), positive=False))
+    show("not contains(x, x.x), x in (ab)*", solver.check(problem))
+
+    # A satisfiable ¬contains that needs alignment reasoning: the needle x·x
+    # must avoid every offset of the haystack y.
+    problem = Problem(alphabet=tuple("abc"), name="avoid")
+    problem.add(RegexMembership("x", "(ab)*"))
+    problem.add(RegexMembership("y", "(ba)*"))
+    problem.add(Contains(term("x", "x"), term("y"), positive=False))
+    show("not contains(x.x, y), x in (ab)*, y in (ba)*", solver.check(problem))
+
+    # Commuting-power disequality: unsatisfiable, only provable with position
+    # reasoning (guessing assignments can never conclude anything).
+    problem = Problem(alphabet=tuple("abc"), name="commuting")
+    problem.add(RegexMembership("x", "(abc)*"))
+    problem.add(RegexMembership("y", "(abc)*"))
+    problem.add(WordEquation(term("x", "y"), term("y", "x"), positive=False))
+    show("x,y in (abc)*, xy != yx", solver.check(problem))
+
+    # Lemma 7.2: 3-SAT reduced to a system of disequalities.  The clauses are
+    # chosen over disjoint variables so each becomes its own (cheap) component;
+    # clauses sharing variables exercise the A^III construction, which the
+    # pure-Python LIA backend solves much more slowly (see EXPERIMENTS.md).
+    clauses = [(1, -2, 2), (3, 4, -4)]
+    problem = sat_reductions.three_sat_to_disequalities(4, clauses)
+    result = solver.check(problem)
+    show("3-SAT via disequalities (Lemma 7.2)", result)
+    ground_truth = sat_reductions.sat_brute_force(4, clauses)
+    print(f"{'':48}    propositional ground truth: {'sat' if ground_truth else 'unsat'}")
+
+
+if __name__ == "__main__":
+    main()

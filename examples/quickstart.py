@@ -1,0 +1,64 @@
+"""Quickstart: solve a few position constraints with the public API.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    PositionSolver,
+    RegexMembership,
+    SolverConfig,
+    WordEquation,
+    str_len,
+    term,
+    lit,
+)
+from repro.lia import ge
+
+
+def show(title, result):
+    model = result.model.strings if result.model else None
+    print(f"{title:45} -> {result.status.value:7} {model or ''}")
+
+
+def main():
+    solver = PositionSolver(SolverConfig(timeout=30.0))
+
+    # 1. A disequality between two regular variables (§5.1).
+    problem = Problem(alphabet=tuple("ab"), name="diseq")
+    problem.add(RegexMembership("x", "(ab)*"))
+    problem.add(RegexMembership("y", "(a|b)*b"))
+    problem.add(WordEquation(term("x"), term("y"), positive=False))  # x != y
+    show("x in (ab)*, y in (a|b)*b, x != y", solver.check(problem))
+
+    # 2. An unsatisfiable disequality: both sides always commute (§5.2).
+    problem = Problem(alphabet=tuple("ab"), name="commuting")
+    problem.add(RegexMembership("x", "(ab)*"))
+    problem.add(RegexMembership("y", "(ab)*"))
+    problem.add(WordEquation(term("x", "y"), term("y", "x"), positive=False))
+    show("x,y in (ab)*, xy != yx", solver.check(problem))
+
+    # 3. A negated prefix check plus an equation (the frontend removes the
+    #    equation by noodlification before the position procedure runs).
+    problem = Problem(alphabet=tuple("ab"), name="prefix")
+    problem.add(RegexMembership("greeting", "(a|b)*"))
+    problem.add(WordEquation(term("greeting"), term(lit("ab"), "rest")))
+    problem.add(PrefixOf(term(lit("b")), term("greeting"), positive=False))
+    show('greeting = "ab" . rest, not prefixof("b", greeting)', solver.check(problem))
+
+    # 4. ¬contains over flat languages (§6.4) with a length constraint.
+    problem = Problem(alphabet=tuple("ab"), name="notcontains")
+    problem.add(RegexMembership("x", "a*"))
+    problem.add(RegexMembership("y", "(ab)*"))
+    problem.add(Contains(term("x"), term("y"), positive=False))  # x does not occur in y
+    problem.add(LengthConstraint(ge(str_len("y"), 4)))
+    show("x in a*, y in (ab)*, |y| >= 4, not contains(x, y)", solver.check(problem))
+
+
+if __name__ == "__main__":
+    main()

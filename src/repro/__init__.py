@@ -1,0 +1,79 @@
+"""repro — reproduction of "A Uniform Framework for Handling Position
+Constraints in String Solving" (PLDI 2025).
+
+Public API highlights:
+
+* :class:`repro.solver.PositionSolver` — the string solver with the paper's
+  position-constraint decision procedure (the Z3-Noodler-pos analogue),
+* :class:`repro.solver.EagerReductionSolver` and
+  :class:`repro.solver.EnumerativeSolver` — the comparison baselines,
+* :mod:`repro.strings` — the constraint AST (``Problem``, ``WordEquation``,
+  ``Contains``, ...),
+* :mod:`repro.core` — the tag-automaton encodings themselves,
+* :mod:`repro.automata` and :mod:`repro.lia` — the NFA and LIA substrates,
+* :mod:`repro.benchgen` — benchmark generators and the evaluation harness.
+
+Quick start::
+
+    from repro import Problem, PositionSolver, RegexMembership, WordEquation, term
+
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(RegexMembership("x", "(ab)*"))
+    problem.add(RegexMembership("y", "(a|b)*b"))
+    problem.add(WordEquation(term("x"), term("y"), positive=False))  # x != y
+    result = PositionSolver().check(problem)
+    print(result.status, result.model.strings if result.model else None)
+"""
+
+from .solver import (
+    EagerReductionSolver,
+    EnumerativeSolver,
+    PositionSolver,
+    SolveResult,
+    SolverConfig,
+    Status,
+    StringModel,
+    brute_force_check,
+)
+from .strings import (
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringLiteral,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+    lit,
+    str_len,
+    term,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PositionSolver",
+    "EagerReductionSolver",
+    "EnumerativeSolver",
+    "SolverConfig",
+    "SolveResult",
+    "Status",
+    "StringModel",
+    "brute_force_check",
+    "Problem",
+    "WordEquation",
+    "RegexMembership",
+    "PrefixOf",
+    "SuffixOf",
+    "Contains",
+    "StrAtAtom",
+    "LengthConstraint",
+    "StringVar",
+    "StringLiteral",
+    "term",
+    "lit",
+    "str_len",
+    "__version__",
+]

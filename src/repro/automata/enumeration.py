@@ -1,0 +1,120 @@
+"""Language enumeration utilities.
+
+These functions back the brute-force oracle solver and the test suite:
+bounded enumeration of a regular language, shortest accepted word, counting
+words per length, and random sampling of accepted words.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from . import operations as ops
+from .nfa import EPSILON, Nfa, State
+
+
+def shortest_word(nfa: Nfa) -> Optional[str]:
+    """Return a shortest accepted word, or ``None`` when the language is empty."""
+    start = nfa.epsilon_closure(nfa.initial)
+    if start & nfa.final:
+        return ""
+    queue: deque = deque([(start, "")])
+    seen: Set[FrozenSet[State]] = {start}
+    while queue:
+        states, word = queue.popleft()
+        symbols = set()
+        for state in states:
+            for symbol, _ in nfa.transitions_from(state):
+                if symbol is not EPSILON:
+                    symbols.add(symbol)
+        for symbol in sorted(symbols):
+            targets: Set[State] = set()
+            for state in states:
+                targets |= nfa.successors(state, symbol)
+            closure = nfa.epsilon_closure(targets)
+            if not closure:
+                continue
+            if closure & nfa.final:
+                return word + symbol
+            if closure not in seen:
+                seen.add(closure)
+                queue.append((closure, word + symbol))
+    return None
+
+
+def words_up_to(nfa: Nfa, max_length: int) -> Iterator[str]:
+    """Yield every accepted word of length at most ``max_length`` (sorted by length)."""
+    start = nfa.epsilon_closure(nfa.initial)
+    layer: List[Tuple[FrozenSet[State], str]] = [(start, "")]
+    if start & nfa.final:
+        yield ""
+    for _ in range(max_length):
+        next_layer: List[Tuple[FrozenSet[State], str]] = []
+        for states, word in layer:
+            symbols = set()
+            for state in states:
+                for symbol, _ in nfa.transitions_from(state):
+                    if symbol is not EPSILON:
+                        symbols.add(symbol)
+            for symbol in sorted(symbols):
+                targets: Set[State] = set()
+                for state in states:
+                    targets |= nfa.successors(state, symbol)
+                closure = nfa.epsilon_closure(targets)
+                if not closure:
+                    continue
+                new_word = word + symbol
+                if closure & nfa.final:
+                    yield new_word
+                next_layer.append((closure, new_word))
+        layer = next_layer
+        if not layer:
+            return
+
+
+def count_words_of_length(nfa: Nfa, length: int) -> int:
+    """Return the number of distinct accepted words of exactly ``length``."""
+    # Determinise so that distinct paths correspond to distinct words.
+    sigma = nfa.alphabet
+    if not sigma:
+        return 1 if length == 0 and nfa.accepts("") else 0
+    dfa, _ = ops.determinize(nfa, sigma)
+    counts: Dict[State, int] = {state: 1 for state in dfa.initial}
+    for _ in range(length):
+        new_counts: Dict[State, int] = {}
+        for state, count in counts.items():
+            for symbol, dst in dfa.transitions_from(state):
+                new_counts[dst] = new_counts.get(dst, 0) + count
+        counts = new_counts
+    return sum(count for state, count in counts.items() if state in dfa.final)
+
+
+def is_finite(nfa: Nfa) -> bool:
+    """Decide whether the language of ``nfa`` is finite."""
+    trimmed = nfa.trim()
+    # A trimmed automaton has an infinite language iff it contains a cycle.
+    from .flatness import strongly_connected_components
+
+    for component in strongly_connected_components(trimmed):
+        internal = any(
+            src in component and dst in component for src, _, dst in trimmed.iter_transitions()
+        )
+        if internal:
+            return False
+    return True
+
+
+def sample_word(nfa: Nfa, max_length: int, rng: Optional[random.Random] = None) -> Optional[str]:
+    """Sample a random accepted word of length at most ``max_length``.
+
+    Returns ``None`` when no accepted word of that length exists.  The
+    distribution is not uniform; the function simply performs a random walk
+    biased towards states that can still reach a final state.
+    """
+    rng = rng or random.Random()
+    words = list(words_up_to(nfa, max_length))
+    if not words:
+        return None
+    return rng.choice(words)

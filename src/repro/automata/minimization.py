@@ -1,0 +1,117 @@
+"""DFA minimisation (Hopcroft's algorithm) and canonicalisation helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from . import operations as ops
+from .nfa import Nfa, State
+
+
+def minimize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Nfa:
+    """Return the minimal complete DFA equivalent to ``nfa``.
+
+    The result is represented as an :class:`Nfa` whose transition relation is
+    deterministic.  Hopcroft's partition-refinement algorithm is used on the
+    determinised, completed automaton; unreachable blocks are trimmed at the
+    end but the sink may be kept when it is needed for completeness.
+    """
+    sigma = sorted(set(alphabet) if alphabet is not None else nfa.alphabet)
+    if not sigma:
+        # Language is either {} or {ε}; both are already minimal as 1-state DFAs.
+        if nfa.accepts(""):
+            return Nfa.epsilon_language()
+        return Nfa.empty_language()
+    dfa, _ = ops.determinize(nfa, sigma)
+
+    states = sorted(dfa.states)
+    finals = set(dfa.final)
+    nonfinals = set(states) - finals
+
+    # Hopcroft partition refinement.
+    partition: List[Set[State]] = [block for block in (finals, nonfinals) if block]
+    worklist: List[Set[State]] = [min(partition, key=len)] if len(partition) == 2 else list(partition)
+
+    # Predecessor index: symbol -> state -> set of predecessors.
+    preds: Dict[str, Dict[State, Set[State]]] = {symbol: {} for symbol in sigma}
+    for src, symbol, dst in dfa.iter_transitions():
+        preds[symbol].setdefault(dst, set()).add(src)
+
+    while worklist:
+        splitter = worklist.pop()
+        for symbol in sigma:
+            incoming: Set[State] = set()
+            for state in splitter:
+                incoming |= preds[symbol].get(state, set())
+            new_partition: List[Set[State]] = []
+            for block in partition:
+                inside = block & incoming
+                outside = block - incoming
+                if inside and outside:
+                    new_partition.extend([inside, outside])
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.extend([inside, outside])
+                    else:
+                        worklist.append(min(inside, outside, key=len))
+                else:
+                    new_partition.append(block)
+            partition = new_partition
+
+    block_of: Dict[State, int] = {}
+    for index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = index
+
+    result = Nfa(sigma)
+    for index in range(len(partition)):
+        result.add_state(index)
+    for index, block in enumerate(partition):
+        representative = next(iter(block))
+        if representative in dfa.final:
+            result.make_final(index)
+        if block & dfa.initial:
+            result.make_initial(index)
+        for symbol in sigma:
+            successors = dfa.successors(representative, symbol)
+            if successors:
+                result.add_transition(index, symbol, block_of[next(iter(successors))])
+    trimmed = result.trim()
+    if not trimmed.states:
+        return Nfa.empty_language()
+    return trimmed
+
+
+def canonical_signature(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Tuple:
+    """Return a hashable canonical signature of the language of ``nfa``.
+
+    Two automata have the same signature iff their languages coincide (over
+    the supplied alphabet).  Implemented by a breadth-first canonical
+    numbering of the minimal DFA.
+    """
+    sigma = sorted(set(alphabet) if alphabet is not None else nfa.alphabet)
+    minimal = minimize(nfa, sigma)
+    if not minimal.states:
+        return ("empty",)
+    order: Dict[State, int] = {}
+    queue: List[State] = sorted(minimal.initial)
+    for state in queue:
+        order[state] = len(order)
+    index = 0
+    while index < len(queue):
+        state = queue[index]
+        index += 1
+        for symbol in sigma:
+            for dst in sorted(minimal.successors(state, symbol)):
+                if dst not in order:
+                    order[dst] = len(order)
+                    queue.append(dst)
+    transitions = tuple(
+        sorted(
+            (order[src], symbol, order[dst])
+            for src, symbol, dst in minimal.iter_transitions()
+            if src in order and dst in order
+        )
+    )
+    finals = tuple(sorted(order[state] for state in minimal.final if state in order))
+    return (len(order), transitions, finals)

@@ -1,0 +1,297 @@
+"""Nondeterministic finite automata (NFA) over character alphabets.
+
+This module provides the central :class:`Nfa` data structure used throughout
+the reproduction.  It plays the role of the Mata library used by Z3-Noodler:
+variable languages in regular membership constraints are represented by NFAs,
+and the tag-automaton construction of the paper consumes them directly.
+
+States are plain integers, symbols are single-character strings, and
+``None`` is used as the epsilon (empty-word) label.  The class is mutable
+while being built and is typically treated as immutable afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: Epsilon label used on transitions that do not consume a symbol.
+EPSILON: Optional[str] = None
+
+Symbol = Optional[str]
+State = int
+Transition = Tuple[State, Symbol, State]
+
+
+class Nfa:
+    """A nondeterministic finite automaton with optional epsilon transitions.
+
+    The automaton is a tuple ``(Q, delta, I, F)`` as in Section 2 of the
+    paper.  Transitions are stored as a nested mapping
+    ``state -> symbol -> set of successor states``.
+    """
+
+    __slots__ = ("states", "initial", "final", "_delta", "_alphabet")
+
+    def __init__(self, alphabet: Optional[Iterable[str]] = None) -> None:
+        self.states: Set[State] = set()
+        self.initial: Set[State] = set()
+        self.final: Set[State] = set()
+        self._delta: Dict[State, Dict[Symbol, Set[State]]] = {}
+        self._alphabet: Set[str] = set(alphabet) if alphabet else set()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_state(self, state: Optional[State] = None) -> State:
+        """Add a state (allocating a fresh identifier when none is given)."""
+        if state is None:
+            state = max(self.states, default=-1) + 1
+        self.states.add(state)
+        return state
+
+    def add_states(self, count: int) -> List[State]:
+        """Add ``count`` fresh states and return them in order."""
+        return [self.add_state() for _ in range(count)]
+
+    def make_initial(self, state: State) -> None:
+        self.states.add(state)
+        self.initial.add(state)
+
+    def make_final(self, state: State) -> None:
+        self.states.add(state)
+        self.final.add(state)
+
+    def add_transition(self, src: State, symbol: Symbol, dst: State) -> None:
+        """Add the transition ``src --symbol--> dst``.
+
+        ``symbol`` may be :data:`EPSILON` for an epsilon transition or a
+        single-character string.
+        """
+        if symbol is not None:
+            if not isinstance(symbol, str) or len(symbol) != 1:
+                raise ValueError(f"symbols must be single characters, got {symbol!r}")
+            self._alphabet.add(symbol)
+        self.states.add(src)
+        self.states.add(dst)
+        self._delta.setdefault(src, {}).setdefault(symbol, set()).add(dst)
+
+    def add_word_path(self, src: State, word: str, dst: State) -> None:
+        """Add a chain of transitions spelling ``word`` from ``src`` to ``dst``."""
+        if not word:
+            self.add_transition(src, EPSILON, dst)
+            return
+        current = src
+        for ch in word[:-1]:
+            nxt = self.add_state()
+            self.add_transition(current, ch, nxt)
+            current = nxt
+        self.add_transition(current, word[-1], dst)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def alphabet(self) -> Set[str]:
+        """The set of symbols appearing on (non-epsilon) transitions."""
+        return set(self._alphabet)
+
+    def successors(self, state: State, symbol: Symbol) -> Set[State]:
+        """Return the states reachable from ``state`` via ``symbol``."""
+        return set(self._delta.get(state, {}).get(symbol, set()))
+
+    def transitions_from(self, state: State) -> Iterator[Tuple[Symbol, State]]:
+        """Iterate over ``(symbol, dst)`` pairs leaving ``state``."""
+        for symbol, dsts in self._delta.get(state, {}).items():
+            for dst in dsts:
+                yield symbol, dst
+
+    def iter_transitions(self) -> Iterator[Transition]:
+        """Iterate over all transitions as ``(src, symbol, dst)`` triples."""
+        for src, by_symbol in self._delta.items():
+            for symbol, dsts in by_symbol.items():
+                for dst in dsts:
+                    yield src, symbol, dst
+
+    def num_transitions(self) -> int:
+        return sum(1 for _ in self.iter_transitions())
+
+    def size(self) -> int:
+        """Return ``|Q| + |delta|`` — the size measure used by the paper."""
+        return len(self.states) + self.num_transitions()
+
+    def has_epsilon(self) -> bool:
+        """Return ``True`` when the automaton contains an epsilon transition."""
+        return any(symbol is None for _, symbol, _ in self.iter_transitions())
+
+    # ------------------------------------------------------------------
+    # Epsilon closure and membership
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """Return the epsilon closure of the given set of states."""
+        closure = set(states)
+        work = deque(closure)
+        while work:
+            state = work.popleft()
+            for dst in self._delta.get(state, {}).get(EPSILON, set()):
+                if dst not in closure:
+                    closure.add(dst)
+                    work.append(dst)
+        return frozenset(closure)
+
+    def accepts(self, word: str) -> bool:
+        """Decide whether ``word`` belongs to the language of the automaton."""
+        current = self.epsilon_closure(self.initial)
+        for ch in word:
+            nxt: Set[State] = set()
+            for state in current:
+                nxt |= self._delta.get(state, {}).get(ch, set())
+            if not nxt:
+                return False
+            current = self.epsilon_closure(nxt)
+        return any(state in self.final for state in current)
+
+    # ------------------------------------------------------------------
+    # Reachability / emptiness
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> Set[State]:
+        """Return states reachable from some initial state."""
+        seen: Set[State] = set()
+        work = deque(self.initial)
+        seen.update(self.initial)
+        while work:
+            state = work.popleft()
+            for _, dst in self.transitions_from(state):
+                if dst not in seen:
+                    seen.add(dst)
+                    work.append(dst)
+        return seen
+
+    def coreachable_states(self) -> Set[State]:
+        """Return states from which some final state is reachable."""
+        predecessors: Dict[State, Set[State]] = {}
+        for src, _, dst in self.iter_transitions():
+            predecessors.setdefault(dst, set()).add(src)
+        seen: Set[State] = set(self.final)
+        work = deque(self.final)
+        while work:
+            state = work.popleft()
+            for src in predecessors.get(state, set()):
+                if src not in seen:
+                    seen.add(src)
+                    work.append(src)
+        return seen
+
+    def is_empty(self) -> bool:
+        """Decide whether the language of the automaton is empty."""
+        return not (self.reachable_states() & self.final)
+
+    def trim(self) -> "Nfa":
+        """Return a copy restricted to useful (reachable and co-reachable) states."""
+        useful = self.reachable_states() & self.coreachable_states()
+        result = Nfa(self._alphabet)
+        result.states = set(useful)
+        result.initial = self.initial & useful
+        result.final = self.final & useful
+        for src, symbol, dst in self.iter_transitions():
+            if src in useful and dst in useful:
+                result.add_transition(src, symbol, dst)
+        # ``add_transition`` may have re-added states; restrict again.
+        result.states &= useful | result.initial | result.final
+        if not result.states and self.initial & self.final:
+            # The empty word is accepted but there are no transitions.
+            state = next(iter(self.initial & self.final))
+            result.states = {state}
+            result.initial = {state}
+            result.final = {state}
+        return result
+
+    # ------------------------------------------------------------------
+    # Copying / renaming
+    # ------------------------------------------------------------------
+    def copy(self) -> "Nfa":
+        """Return a structural copy of the automaton."""
+        result = Nfa(self._alphabet)
+        result.states = set(self.states)
+        result.initial = set(self.initial)
+        result.final = set(self.final)
+        for src, symbol, dst in self.iter_transitions():
+            result.add_transition(src, symbol, dst)
+        return result
+
+    def renumbered(self, offset: int = 0) -> Tuple["Nfa", Dict[State, State]]:
+        """Return a copy with states renamed to ``offset, offset+1, ...``.
+
+        Also returns the renaming map from old to new state identifiers.
+        """
+        mapping = {state: offset + index for index, state in enumerate(sorted(self.states))}
+        result = Nfa(self._alphabet)
+        result.states = set(mapping.values())
+        result.initial = {mapping[s] for s in self.initial}
+        result.final = {mapping[s] for s in self.final}
+        for src, symbol, dst in self.iter_transitions():
+            result.add_transition(mapping[src], symbol, mapping[dst])
+        return result, mapping
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_word(word: str) -> "Nfa":
+        """Return an NFA accepting exactly ``{word}``."""
+        nfa = Nfa()
+        start = nfa.add_state()
+        nfa.make_initial(start)
+        end = nfa.add_state()
+        nfa.make_final(end)
+        nfa.add_word_path(start, word, end)
+        return nfa
+
+    @staticmethod
+    def from_words(words: Iterable[str]) -> "Nfa":
+        """Return an NFA accepting exactly the given finite set of words."""
+        nfa = Nfa()
+        start = nfa.add_state()
+        nfa.make_initial(start)
+        end = nfa.add_state()
+        nfa.make_final(end)
+        for word in words:
+            nfa.add_word_path(start, word, end)
+        return nfa
+
+    @staticmethod
+    def universal(alphabet: Iterable[str]) -> "Nfa":
+        """Return an NFA accepting every word over ``alphabet`` (i.e. ``Γ*``)."""
+        nfa = Nfa(alphabet)
+        state = nfa.add_state()
+        nfa.make_initial(state)
+        nfa.make_final(state)
+        for symbol in alphabet:
+            nfa.add_transition(state, symbol, state)
+        return nfa
+
+    @staticmethod
+    def empty_language() -> "Nfa":
+        """Return an NFA with the empty language."""
+        nfa = Nfa()
+        state = nfa.add_state()
+        nfa.make_initial(state)
+        return nfa
+
+    @staticmethod
+    def epsilon_language() -> "Nfa":
+        """Return an NFA accepting only the empty word."""
+        nfa = Nfa()
+        state = nfa.add_state()
+        nfa.make_initial(state)
+        nfa.make_final(state)
+        return nfa
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Nfa(states={len(self.states)}, transitions={self.num_transitions()}, "
+            f"initial={sorted(self.initial)}, final={sorted(self.final)})"
+        )

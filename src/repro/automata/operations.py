@@ -1,0 +1,234 @@
+"""Classical operations on NFAs: boolean algebra, concatenation, iteration.
+
+These operations back both the regex compiler and the string solver: regular
+membership constraints are intersected per variable, complements are needed
+for negated regular memberships, and concatenation/star implement regex
+operators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from .nfa import EPSILON, Nfa, State
+
+
+def union(left: Nfa, right: Nfa) -> Nfa:
+    """Return an NFA for ``L(left) ∪ L(right)``."""
+    result = Nfa(left.alphabet | right.alphabet)
+    left_copy, left_map = left.renumbered(0)
+    offset = max(left_copy.states, default=-1) + 1
+    right_copy, right_map = right.renumbered(offset)
+    for part in (left_copy, right_copy):
+        result.states |= part.states
+        result.initial |= part.initial
+        result.final |= part.final
+        for src, symbol, dst in part.iter_transitions():
+            result.add_transition(src, symbol, dst)
+    return result
+
+
+def concat(left: Nfa, right: Nfa) -> Nfa:
+    """Return an NFA for the concatenation ``L(left) · L(right)``.
+
+    The construction links final states of ``left`` to initial states of
+    ``right`` with epsilon transitions (the ε-concatenation of the paper).
+    """
+    result = Nfa(left.alphabet | right.alphabet)
+    left_copy, _ = left.renumbered(0)
+    offset = max(left_copy.states, default=-1) + 1
+    right_copy, _ = right.renumbered(offset)
+    result.states = left_copy.states | right_copy.states
+    result.initial = set(left_copy.initial)
+    result.final = set(right_copy.final)
+    for part in (left_copy, right_copy):
+        for src, symbol, dst in part.iter_transitions():
+            result.add_transition(src, symbol, dst)
+    for final_state in left_copy.final:
+        for initial_state in right_copy.initial:
+            result.add_transition(final_state, EPSILON, initial_state)
+    return result
+
+
+def star(nfa: Nfa) -> Nfa:
+    """Return an NFA for the Kleene star ``L(nfa)*``."""
+    result, _ = nfa.renumbered(0)
+    fresh = result.add_state()
+    for initial_state in set(result.initial):
+        result.add_transition(fresh, EPSILON, initial_state)
+    for final_state in set(result.final):
+        result.add_transition(final_state, EPSILON, fresh)
+    result.initial = {fresh}
+    result.final = result.final | {fresh}
+    return result
+
+
+def plus(nfa: Nfa) -> Nfa:
+    """Return an NFA for ``L(nfa)+`` (one or more repetitions)."""
+    return concat(nfa, star(nfa))
+
+
+def optional(nfa: Nfa) -> Nfa:
+    """Return an NFA for ``L(nfa) ∪ {ε}``."""
+    result, _ = nfa.renumbered(0)
+    fresh = result.add_state()
+    result.make_initial(fresh)
+    result.make_final(fresh)
+    for initial_state in set(result.initial) - {fresh}:
+        result.add_transition(fresh, EPSILON, initial_state)
+    result.initial = {fresh}
+    return result
+
+
+def repeat(nfa: Nfa, low: int, high: Optional[int]) -> Nfa:
+    """Return an NFA for ``L(nfa){low,high}`` (``high=None`` means unbounded)."""
+    if low < 0:
+        raise ValueError("lower repetition bound must be non-negative")
+    pieces = [nfa] * low
+    if high is None:
+        pieces.append(star(nfa))
+    else:
+        if high < low:
+            raise ValueError("upper repetition bound must be at least the lower bound")
+        pieces.extend([optional(nfa)] * (high - low))
+    if not pieces:
+        return Nfa.epsilon_language()
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = concat(result, piece)
+    return result
+
+
+def remove_epsilon(nfa: Nfa) -> Nfa:
+    """Return an equivalent NFA without epsilon transitions."""
+    result = Nfa(nfa.alphabet)
+    result.states = set(nfa.states)
+    result.initial = set(nfa.initial)
+    closures: Dict[State, FrozenSet[State]] = {
+        state: nfa.epsilon_closure([state]) for state in nfa.states
+    }
+    for state in nfa.states:
+        closure = closures[state]
+        if closure & nfa.final:
+            result.make_final(state)
+        for member in closure:
+            for symbol, dst in nfa.transitions_from(member):
+                if symbol is EPSILON:
+                    continue
+                result.add_transition(state, symbol, dst)
+    return result
+
+
+def determinize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Tuple[Nfa, Dict[FrozenSet[State], State]]:
+    """Subset construction.
+
+    Returns a complete DFA (represented as an :class:`Nfa` whose transition
+    relation is deterministic and total over ``alphabet``) together with the
+    mapping from subsets of states to DFA states.  The empty subset acts as
+    the sink state.
+    """
+    sigma = set(alphabet) if alphabet is not None else set(nfa.alphabet)
+    dfa = Nfa(sigma)
+    subset_to_state: Dict[FrozenSet[State], State] = {}
+
+    def state_for(subset: FrozenSet[State]) -> State:
+        if subset not in subset_to_state:
+            subset_to_state[subset] = dfa.add_state()
+            if subset & nfa.final:
+                dfa.make_final(subset_to_state[subset])
+        return subset_to_state[subset]
+
+    start = nfa.epsilon_closure(nfa.initial)
+    start_state = state_for(start)
+    dfa.make_initial(start_state)
+    work = deque([start])
+    processed: Set[FrozenSet[State]] = {start}
+    while work:
+        subset = work.popleft()
+        src = state_for(subset)
+        for symbol in sigma:
+            targets: Set[State] = set()
+            for state in subset:
+                targets |= nfa.successors(state, symbol)
+            closure = nfa.epsilon_closure(targets)
+            dst = state_for(closure)
+            dfa.add_transition(src, symbol, dst)
+            if closure not in processed:
+                processed.add(closure)
+                work.append(closure)
+    return dfa, subset_to_state
+
+
+def complement(nfa: Nfa, alphabet: Iterable[str]) -> Nfa:
+    """Return an NFA for ``alphabet* \\ L(nfa)``."""
+    sigma = set(alphabet)
+    dfa, _ = determinize(nfa, sigma)
+    result = dfa.copy()
+    result.final = set(dfa.states) - set(dfa.final)
+    return result
+
+
+def intersection(left: Nfa, right: Nfa) -> Nfa:
+    """Return the product automaton for ``L(left) ∩ L(right)``."""
+    left_nf = remove_epsilon(left) if left.has_epsilon() else left
+    right_nf = remove_epsilon(right) if right.has_epsilon() else right
+    result = Nfa(left_nf.alphabet & right_nf.alphabet)
+    pair_to_state: Dict[Tuple[State, State], State] = {}
+
+    def state_for(pair: Tuple[State, State]) -> State:
+        if pair not in pair_to_state:
+            pair_to_state[pair] = result.add_state()
+            if pair[0] in left_nf.final and pair[1] in right_nf.final:
+                result.make_final(pair_to_state[pair])
+        return pair_to_state[pair]
+
+    work: deque = deque()
+    for p in left_nf.initial:
+        for q in right_nf.initial:
+            state = state_for((p, q))
+            result.make_initial(state)
+            work.append((p, q))
+    seen: Set[Tuple[State, State]] = set(
+        (p, q) for p in left_nf.initial for q in right_nf.initial
+    )
+    while work:
+        p, q = work.popleft()
+        src = state_for((p, q))
+        for symbol, p_dst in left_nf.transitions_from(p):
+            for q_dst in right_nf.successors(q, symbol):
+                dst_pair = (p_dst, q_dst)
+                dst = state_for(dst_pair)
+                result.add_transition(src, symbol, dst)
+                if dst_pair not in seen:
+                    seen.add(dst_pair)
+                    work.append(dst_pair)
+    return result
+
+
+def difference(left: Nfa, right: Nfa, alphabet: Iterable[str]) -> Nfa:
+    """Return an NFA for ``L(left) \\ L(right)`` over ``alphabet``."""
+    return intersection(left, complement(right, alphabet))
+
+
+def reverse(nfa: Nfa) -> Nfa:
+    """Return an NFA for the reversed language."""
+    result = Nfa(nfa.alphabet)
+    result.states = set(nfa.states)
+    result.initial = set(nfa.final)
+    result.final = set(nfa.initial)
+    for src, symbol, dst in nfa.iter_transitions():
+        result.add_transition(dst, symbol, src)
+    return result
+
+
+def is_subset(left: Nfa, right: Nfa, alphabet: Optional[Iterable[str]] = None) -> bool:
+    """Decide language inclusion ``L(left) ⊆ L(right)``."""
+    sigma = set(alphabet) if alphabet is not None else left.alphabet | right.alphabet
+    return difference(left, right, sigma).trim().is_empty()
+
+
+def equivalent(left: Nfa, right: Nfa, alphabet: Optional[Iterable[str]] = None) -> bool:
+    """Decide language equivalence of the two automata."""
+    sigma = set(alphabet) if alphabet is not None else left.alphabet | right.alphabet
+    return is_subset(left, right, sigma) and is_subset(right, left, sigma)

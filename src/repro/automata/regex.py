@@ -1,0 +1,277 @@
+"""A small regular-expression engine compiling to :class:`~repro.automata.nfa.Nfa`.
+
+The supported syntax is the textbook fragment used in the paper plus a few
+conveniences common in SMT-LIB ``re`` terms:
+
+* literal characters, escaped characters (``\\*`` etc.),
+* concatenation, alternation ``|`` (also ``+`` is *not* alternation here:
+  ``+`` is the usual one-or-more postfix operator),
+* grouping ``( ... )``,
+* postfix ``*``, ``+``, ``?`` and bounded repetition ``{n}``, ``{n,}``,
+  ``{n,m}``,
+* character classes ``[abc]``, ranges ``[a-z]`` and negated classes
+  ``[^abc]`` (negation requires an explicit alphabet),
+* ``.`` matching any symbol of the supplied alphabet,
+* the empty regex denotes the empty word.
+
+Parsing produces a small AST (:class:`RegexNode` subclasses) which is then
+compiled with the Thompson construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from . import operations as ops
+from .nfa import Nfa
+
+DEFAULT_ALPHABET = tuple("abcdefghijklmnopqrstuvwxyz0123456789")
+
+
+class RegexError(ValueError):
+    """Raised when a regular expression cannot be parsed."""
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+class RegexNode:
+    """Base class of regex AST nodes."""
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Empty(RegexNode):
+    """The empty word ``ε``."""
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        return Nfa.epsilon_language()
+
+
+@dataclass(frozen=True)
+class Literal(RegexNode):
+    """A single character."""
+
+    char: str
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        return Nfa.from_word(self.char)
+
+
+@dataclass(frozen=True)
+class AnyChar(RegexNode):
+    """The ``.`` wildcard — any single symbol of the alphabet."""
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        return Nfa.from_words(alphabet)
+
+
+@dataclass(frozen=True)
+class CharClass(RegexNode):
+    """A character class, possibly negated."""
+
+    chars: Tuple[str, ...]
+    negated: bool = False
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        if self.negated:
+            allowed = [c for c in alphabet if c not in self.chars]
+        else:
+            allowed = list(self.chars)
+        return Nfa.from_words(allowed)
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation of sub-expressions."""
+
+    parts: Tuple[RegexNode, ...]
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        result = Nfa.epsilon_language()
+        for part in self.parts:
+            result = ops.concat(result, part.compile(alphabet))
+        return result
+
+
+@dataclass(frozen=True)
+class Alternation(RegexNode):
+    """Union of sub-expressions."""
+
+    options: Tuple[RegexNode, ...]
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        result = self.options[0].compile(alphabet)
+        for option in self.options[1:]:
+            result = ops.union(result, option.compile(alphabet))
+        return result
+
+
+@dataclass(frozen=True)
+class Repeat(RegexNode):
+    """Bounded or unbounded repetition of a sub-expression."""
+
+    inner: RegexNode
+    low: int
+    high: Optional[int]
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        return ops.repeat(self.inner.compile(alphabet), self.low, self.high)
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        char = self.peek()
+        if char is None:
+            raise RegexError(f"unexpected end of pattern: {self.pattern!r}")
+        self.pos += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        actual = self.take()
+        if actual != char:
+            raise RegexError(
+                f"expected {char!r} at position {self.pos - 1} of {self.pattern!r}, got {actual!r}"
+            )
+
+    # alternation := concat ('|' concat)*
+    def parse_alternation(self) -> RegexNode:
+        options = [self.parse_concat()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.parse_concat())
+        if len(options) == 1:
+            return options[0]
+        return Alternation(tuple(options))
+
+    # concat := repeat*
+    def parse_concat(self) -> RegexNode:
+        parts: List[RegexNode] = []
+        while True:
+            char = self.peek()
+            if char is None or char in ")|":
+                break
+            parts.append(self.parse_repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    # repeat := atom ('*' | '+' | '?' | '{n,m}')*
+    def parse_repeat(self) -> RegexNode:
+        node = self.parse_atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.take()
+                node = Repeat(node, 0, None)
+            elif char == "+":
+                self.take()
+                node = Repeat(node, 1, None)
+            elif char == "?":
+                self.take()
+                node = Repeat(node, 0, 1)
+            elif char == "{":
+                node = self._parse_braces(node)
+            else:
+                return node
+
+    def _parse_braces(self, node: RegexNode) -> RegexNode:
+        self.expect("{")
+        digits = ""
+        while self.peek() is not None and self.peek().isdigit():
+            digits += self.take()
+        if not digits:
+            raise RegexError(f"malformed repetition in {self.pattern!r}")
+        low = int(digits)
+        high: Optional[int] = low
+        if self.peek() == ",":
+            self.take()
+            digits = ""
+            while self.peek() is not None and self.peek().isdigit():
+                digits += self.take()
+            high = int(digits) if digits else None
+        self.expect("}")
+        return Repeat(node, low, high)
+
+    def parse_atom(self) -> RegexNode:
+        char = self.take()
+        if char == "(":
+            node = self.parse_alternation()
+            self.expect(")")
+            return node
+        if char == "[":
+            return self._parse_class()
+        if char == ".":
+            return AnyChar()
+        if char == "\\":
+            return Literal(self.take())
+        if char in "*+?{}":
+            raise RegexError(f"unexpected operator {char!r} in {self.pattern!r}")
+        return Literal(char)
+
+    def _parse_class(self) -> RegexNode:
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        chars: List[str] = []
+        while True:
+            char = self.peek()
+            if char is None:
+                raise RegexError(f"unterminated character class in {self.pattern!r}")
+            if char == "]":
+                self.take()
+                break
+            char = self.take()
+            if char == "\\":
+                char = self.take()
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.take()
+                end = self.take()
+                if end == "\\":
+                    end = self.take()
+                if ord(end) < ord(char):
+                    raise RegexError(f"invalid range {char}-{end} in {self.pattern!r}")
+                chars.extend(chr(c) for c in range(ord(char), ord(end) + 1))
+            else:
+                chars.append(char)
+        return CharClass(tuple(chars), negated)
+
+
+def parse(pattern: str) -> RegexNode:
+    """Parse ``pattern`` and return the regex AST."""
+    parser = _Parser(pattern)
+    node = parser.parse_alternation()
+    if parser.pos != len(pattern):
+        raise RegexError(f"trailing characters at position {parser.pos} of {pattern!r}")
+    return node
+
+
+def compile_regex(pattern: str, alphabet: Optional[Iterable[str]] = None) -> Nfa:
+    """Compile a regular expression into an epsilon-free, trimmed NFA."""
+    sigma: Sequence[str] = tuple(alphabet) if alphabet is not None else DEFAULT_ALPHABET
+    node = parse(pattern)
+    nfa = node.compile(sigma)
+    nfa = ops.remove_epsilon(nfa).trim()
+    if not nfa.states:
+        # Empty language — keep a single initial state so downstream code has
+        # a well-formed automaton to work with.
+        nfa = Nfa.empty_language()
+    return nfa

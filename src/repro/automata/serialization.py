@@ -1,0 +1,57 @@
+"""Serialisation of NFAs to and from simple dictionary / DOT formats.
+
+The JSON-friendly dictionary format is used by the benchmark generators to
+store workloads on disk, and the DOT output is a debugging convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .nfa import EPSILON, Nfa
+
+
+def to_dict(nfa: Nfa) -> Dict[str, Any]:
+    """Return a JSON-serialisable description of ``nfa``."""
+    return {
+        "states": sorted(nfa.states),
+        "initial": sorted(nfa.initial),
+        "final": sorted(nfa.final),
+        "alphabet": sorted(nfa.alphabet),
+        "transitions": sorted(
+            [src, symbol if symbol is not None else "", dst]
+            for src, symbol, dst in nfa.iter_transitions()
+        ),
+    }
+
+
+def from_dict(data: Dict[str, Any]) -> Nfa:
+    """Reconstruct an :class:`Nfa` from :func:`to_dict` output."""
+    nfa = Nfa(data.get("alphabet", []))
+    for state in data["states"]:
+        nfa.add_state(state)
+    for state in data["initial"]:
+        nfa.make_initial(state)
+    for state in data["final"]:
+        nfa.make_final(state)
+    for src, symbol, dst in data["transitions"]:
+        nfa.add_transition(src, symbol if symbol != "" else EPSILON, dst)
+    return nfa
+
+
+def to_dot(nfa: Nfa, name: str = "nfa") -> str:
+    """Render ``nfa`` in Graphviz DOT format (for inspection/debugging)."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for state in sorted(nfa.states):
+        shape = "doublecircle" if state in nfa.final else "circle"
+        lines.append(f'  q{state} [shape={shape}, label="{state}"];')
+    for index, state in enumerate(sorted(nfa.initial)):
+        lines.append(f"  __start{index} [shape=point];")
+        lines.append(f"  __start{index} -> q{state};")
+    for src, symbol, dst in sorted(
+        nfa.iter_transitions(), key=lambda t: (t[0], t[1] or "", t[2])
+    ):
+        label = symbol if symbol is not None else "ε"
+        lines.append(f'  q{src} -> q{dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

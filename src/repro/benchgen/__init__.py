@@ -1,0 +1,17 @@
+"""Benchmark workload generators and the evaluation harness (§8)."""
+
+from . import position_hard, sat_reductions, symbolic_execution
+from .harness import Campaign, RunRecord, TableRow, run_campaign
+from .suite import benchmark_sets, solver_factories
+
+__all__ = [
+    "position_hard",
+    "sat_reductions",
+    "symbolic_execution",
+    "Campaign",
+    "RunRecord",
+    "TableRow",
+    "run_campaign",
+    "benchmark_sets",
+    "solver_factories",
+]

@@ -1,0 +1,200 @@
+"""Synthetic workloads modelled on the paper's symbolic-execution benchmarks.
+
+The evaluation of §8 uses ~150 000 formulae obtained by running the PyCT
+symbolic executor on three Python code bases (biopython, django, thefuck) and
+keeping the path conditions that contain at least one position constraint.
+Those formula files are not redistributable here, so this module generates
+*structurally analogous* problems:
+
+* **biopython-like** — DNA-ish sequence processing: variables over a 4-letter
+  alphabet with simple regular shapes, equality/disequality against literals,
+  ``str.at`` probes of particular positions, length bounds;
+* **django-like** — routing/URL dispatching: prefix and suffix tests against
+  literal route fragments (mostly negated, as produced by else-branches),
+  containment of separators, disequalities between route variables;
+* **thefuck-like** — command-line fix-up rules: suffix/prefix checks of
+  command names, disequalities between a command and its corrected variant,
+  concatenations with literal separators.
+
+Every generator is deterministic for a given seed and yields
+``(name, Problem, expected)`` triples where ``expected`` is the ground-truth
+status (``"sat"``/``"unsat"``) when it is known by construction, or ``None``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from ..lia import LinExpr, eq as lia_eq, ge as lia_ge, le as lia_le, ne as lia_ne
+from ..strings.ast import (
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringLiteral,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+    lit,
+    str_len,
+    term,
+)
+
+Instance = Tuple[str, Problem, Optional[str]]
+
+
+def _random_word(rng: random.Random, alphabet: str, low: int, high: int) -> str:
+    return "".join(rng.choice(alphabet) for _ in range(rng.randint(low, high)))
+
+
+# ----------------------------------------------------------------------
+# biopython-like: sequence manipulation
+# ----------------------------------------------------------------------
+def biopython_like(count: int, seed: int = 1) -> Iterator[Instance]:
+    """Sequence-processing path conditions over the DNA alphabet."""
+    rng = random.Random(seed)
+    alphabet = "acgt"
+    for index in range(count):
+        problem = Problem(alphabet=tuple(alphabet), name=f"biopython-{index}")
+        expected: Optional[str] = None
+        shape = rng.choice(["codon-diseq", "at-probe", "prefix-branch", "length-window"])
+
+        if shape == "codon-diseq":
+            # A sequence built from codons must differ from a sampled literal.
+            codon = _random_word(rng, alphabet, 3, 3)
+            problem.add(RegexMembership("seq", f"({codon})*"))
+            target = codon * rng.randint(1, 2)
+            if rng.random() < 0.5:
+                # Mutate one character: always satisfiable by picking the literal length.
+                position = rng.randrange(len(target))
+                replacement = rng.choice([c for c in alphabet if c != target[position]])
+                target = target[:position] + replacement + target[position + 1 :]
+                expected = "sat"
+            problem.add(WordEquation(term("seq"), term(lit(target)), positive=False))
+            problem.add(LengthConstraint(lia_le(str_len("seq"), 9)))
+
+        elif shape == "at-probe":
+            # Probe a fixed position of a sequence and compare with a base.
+            base = rng.choice(alphabet)
+            other = rng.choice([c for c in alphabet if c != base])
+            problem.add(RegexMembership("seq", f"({base}|{other})*"))
+            problem.add(RegexMembership("probe", f"{base}|{other}"))
+            position = rng.randint(0, 3)
+            problem.add(StrAtAtom(StringVar("probe"), term("seq"), LinExpr.constant(position),
+                                  positive=rng.random() < 0.5))
+            problem.add(LengthConstraint(lia_ge(str_len("seq"), position + 1)))
+            expected = "sat"
+
+        elif shape == "prefix-branch":
+            # else-branch of a startswith() test against a primer literal.
+            primer = _random_word(rng, alphabet, 2, 4)
+            problem.add(RegexMembership("seq", f"[{alphabet}]*"))
+            problem.add(PrefixOf(term(lit(primer)), term("seq"), positive=False))
+            if rng.random() < 0.3:
+                # Force the sequence to start with the primer => unsat.
+                problem.add(RegexMembership("seq", primer + f"[{alphabet}]*"))
+                expected = "unsat"
+            else:
+                expected = "sat"
+
+        else:  # length-window
+            fragment = _random_word(rng, alphabet, 2, 3)
+            problem.add(RegexMembership("left", f"({fragment})*"))
+            problem.add(RegexMembership("right", f"[{alphabet}]{{0,4}}"))
+            problem.add(WordEquation(term("left", "right"), term(lit(fragment * 2)), positive=False))
+            problem.add(LengthConstraint(lia_le(str_len("left") + str_len("right"), 8)))
+            expected = "sat"
+
+        yield problem.name, problem, expected
+
+
+# ----------------------------------------------------------------------
+# django-like: URL routing
+# ----------------------------------------------------------------------
+def django_like(count: int, seed: int = 2) -> Iterator[Instance]:
+    """Routing-style path conditions (prefix/suffix/contains of separators)."""
+    rng = random.Random(seed)
+    alphabet = "ab/"
+    for index in range(count):
+        problem = Problem(alphabet=tuple(alphabet), name=f"django-{index}")
+        expected: Optional[str] = None
+        shape = rng.choice(["route-prefix", "slug-diseq", "separator", "suffix-slash"])
+
+        if shape == "route-prefix":
+            route = rng.choice(["a/", "ab/", "a/b/", "b/"])
+            problem.add(RegexMembership("path", "(a|b|/)*"))
+            problem.add(PrefixOf(term(lit(route)), term("path"), positive=False))
+            # The trailing-slash check is the then-branch (positive), so it is
+            # rewritten into an equation; the else-branch prefix test above is
+            # the position constraint.
+            problem.add(SuffixOf(term(lit("/")), term("path"), positive=True))
+            expected = "sat"
+
+        elif shape == "slug-diseq":
+            problem.add(RegexMembership("slug", "(a|b)(a|b)*"))
+            problem.add(RegexMembership("other", "(a|b)(a|b)*"))
+            problem.add(WordEquation(term("slug"), term("other"), positive=False))
+            problem.add(LengthConstraint(lia_eq(str_len("slug"), str_len("other"))))
+            expected = "sat"
+
+        elif shape == "separator":
+            problem.add(RegexMembership("segment", "(a|b)*"))
+            # A segment never contains the separator: trivially satisfiable,
+            # but only a position-aware solver proves it without guessing.
+            problem.add(Contains(term(lit("/")), term("segment"), positive=False))
+            if rng.random() < 0.3:
+                problem.add(RegexMembership("segment", "(a|b)*/(a|b)*"))
+                expected = "unsat"
+            else:
+                expected = "sat"
+
+        else:  # suffix-slash
+            problem.add(RegexMembership("path", "(a|b|/)*/"))
+            problem.add(SuffixOf(term(lit("/")), term("path"), positive=False))
+            expected = "unsat"
+
+        yield problem.name, problem, expected
+
+
+# ----------------------------------------------------------------------
+# thefuck-like: command fixing
+# ----------------------------------------------------------------------
+def thefuck_like(count: int, seed: int = 3) -> Iterator[Instance]:
+    """Command-correction path conditions (suffix tests, command disequalities)."""
+    rng = random.Random(seed)
+    alphabet = "gitp "
+    alphabet = "gip "  # keep the alphabet small: g, i, p and space
+    for index in range(count):
+        problem = Problem(alphabet=tuple(alphabet), name=f"thefuck-{index}")
+        expected: Optional[str] = None
+        shape = rng.choice(["command-diseq", "suffix-test", "concat-fix"])
+
+        if shape == "command-diseq":
+            problem.add(RegexMembership("cmd", "(g|i|p| )*"))
+            problem.add(RegexMembership("fixed", "(g|i|p| )*"))
+            problem.add(WordEquation(term("cmd"), term("fixed"), positive=False))
+            problem.add(WordEquation(term("fixed"), term(lit("gip"))))
+            expected = "sat"
+
+        elif shape == "suffix-test":
+            suffix = rng.choice(["ip", "gi", "p"])
+            problem.add(RegexMembership("cmd", "g(g|i|p| )*"))
+            problem.add(SuffixOf(term(lit(suffix)), term("cmd"), positive=False))
+            if rng.random() < 0.3:
+                problem.add(RegexMembership("cmd", f"g(g|i|p| )*{suffix}"))
+                expected = "unsat"
+            else:
+                expected = "sat"
+
+        else:  # concat-fix
+            problem.add(RegexMembership("head", "(g|i)*"))
+            problem.add(RegexMembership("tail", "(p| )*"))
+            problem.add(WordEquation(term("cmd"), term("head", lit(" "), "tail")))
+            problem.add(WordEquation(term("cmd"), term(lit("gi p")), positive=False))
+            problem.add(LengthConstraint(lia_le(str_len("cmd"), 6)))
+            expected = "sat"
+
+        yield problem.name, problem, expected

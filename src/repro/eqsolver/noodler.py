@@ -1,0 +1,236 @@
+"""A stabilization-style solver for word equations with regular constraints.
+
+Z3-Noodler handles ``E ∧ R`` by the stabilization procedure of [24]: word
+equations are eliminated by *noodlification* — aligning the automaton of one
+side with the concatenation of automata of the other side and splitting it at
+the variable boundaries — producing a disjunction of refined regular
+constraints (a monadic decomposition) plus a substitution map.
+
+This module implements the fragment of that procedure that the position
+decision procedure (and our benchmark workloads) need:
+
+* trivial equations (``x = y``, ``x = ε``, ground equations),
+* *assignment-shaped* equations ``x = y₁ · … · y_k`` where ``x`` does not
+  occur on the right-hand side (the common shape produced by symbolic
+  execution), solved exactly by noodlification,
+* systems of such equations, processed to a fixpoint with a branch budget.
+
+Anything outside this fragment makes the solver report "don't know", which
+the string solver surfaces as ``UNKNOWN`` — mirroring how Z3-Noodler runs
+out of resources on non-chain-free inputs (§8.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..automata import intersection, remove_epsilon
+from ..automata.nfa import EPSILON, Nfa
+
+VarEquation = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+class EquationTooHard(Exception):
+    """Raised when an equation falls outside the supported fragment."""
+
+
+@dataclass
+class Branch:
+    """One disjunct of the monadic decomposition.
+
+    ``automata`` constrains the remaining variables; ``substitution`` maps
+    every eliminated variable to the concatenation of remaining variables it
+    was replaced by (used to reconstruct its value from a model).
+    """
+
+    automata: Dict[str, Nfa]
+    substitution: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def expand(self, variable: str, seen: Optional[Set[str]] = None) -> Tuple[str, ...]:
+        """Fully expand a variable through the substitution map."""
+        seen = seen or set()
+        if variable in seen:
+            raise ValueError(f"cyclic substitution through {variable}")
+        if variable not in self.substitution:
+            return (variable,)
+        result: List[str] = []
+        for part in self.substitution[variable]:
+            result.extend(self.expand(part, seen | {variable}))
+        return tuple(result)
+
+    def expand_term(self, term: Sequence[str]) -> Tuple[str, ...]:
+        result: List[str] = []
+        for variable in term:
+            result.extend(self.expand(variable))
+        return tuple(result)
+
+
+@dataclass
+class DecompositionResult:
+    """Outcome of the equation-elimination phase."""
+
+    branches: List[Branch]
+    complete: bool  # False when the budget was exhausted or the fragment was left
+
+
+# ----------------------------------------------------------------------
+# Noodlification of x = y1 ... yk
+# ----------------------------------------------------------------------
+def noodlify_assignment(
+    target: Nfa, parts: Sequence[Tuple[str, Nfa]], max_noodles: int = 256
+) -> List[Dict[str, Nfa]]:
+    """Solve ``x = y1 … yk`` by splitting: refine each ``y_i`` against ``x``.
+
+    Returns a list of "noodles": each maps the part variables to refined
+    automata such that (i) each refined language is included in the original
+    language of the part, and (ii) any combination of words from the refined
+    languages concatenates to a word of ``L(x)``; together the noodles cover
+    every solution of the equation.  Raises :class:`EquationTooHard` when the
+    split budget is exceeded.
+    """
+    names = [name for name, _ in parts]
+    if len(set(names)) != len(names):
+        # A variable repeated inside the right-hand side needs the full
+        # stabilization loop of [24]; we stay in the exactly-solved fragment.
+        raise EquationTooHard("repeated variable on the right-hand side")
+    target = remove_epsilon(target) if target.has_epsilon() else target
+    part_automata = [remove_epsilon(nfa) if nfa.has_epsilon() else nfa for _, nfa in parts]
+
+    if not parts:
+        # x = ε: the equation is satisfiable iff ε ∈ L(x).
+        return [{}] if target.accepts("") else []
+
+    # The split points are assignments of target states to the k-1 internal
+    # boundaries plus an initial and a final state of the target.
+    target_states = sorted(target.states)
+    initials = sorted(target.initial)
+    finals = sorted(target.final)
+    boundary_choices = [initials] + [target_states] * (len(parts) - 1) + [finals]
+    total = 1
+    for choice in boundary_choices:
+        total *= max(len(choice), 1)
+    if total > max_noodles:
+        raise EquationTooHard(f"too many noodles ({total} > {max_noodles})")
+
+    noodles: List[Dict[str, Nfa]] = []
+    for assignment in product(*boundary_choices):
+        refinement: Dict[str, Nfa] = {}
+        feasible = True
+        for index, (name, part_nfa) in enumerate(zip(names, part_automata)):
+            segment = target.copy()
+            segment.initial = {assignment[index]}
+            segment.final = {assignment[index + 1]}
+            refined = intersection(part_nfa, segment).trim()
+            if not refined.states:
+                if assignment[index] == assignment[index + 1] and part_nfa.accepts(""):
+                    refined = Nfa.epsilon_language()
+                else:
+                    feasible = False
+                    break
+            refinement[name] = refined
+        if feasible:
+            noodles.append(refinement)
+    return noodles
+
+
+# ----------------------------------------------------------------------
+# The decomposition driver
+# ----------------------------------------------------------------------
+def _orient(equation: VarEquation) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Orient an equation as ``x = t`` with ``x`` not occurring in ``t``."""
+    lhs, rhs = equation
+    if len(lhs) == 1 and lhs[0] not in rhs:
+        return lhs[0], rhs
+    if len(rhs) == 1 and rhs[0] not in lhs:
+        return rhs[0], lhs
+    return None
+
+
+def decompose(
+    equations: Sequence[VarEquation],
+    automata: Dict[str, Nfa],
+    max_branches: int = 128,
+    max_noodles: int = 256,
+) -> DecompositionResult:
+    """Eliminate the given equations, producing a monadic decomposition.
+
+    The result is a list of branches (disjuncts); an empty list with
+    ``complete=True`` means the equations (with the regular constraints) are
+    unsatisfiable.  ``complete=False`` signals that some equation was outside
+    the supported fragment or a budget was exceeded.
+    """
+    work: List[Tuple[List[VarEquation], Branch]] = [
+        (list(equations), Branch(dict(automata)))
+    ]
+    finished: List[Branch] = []
+    complete = True
+
+    while work:
+        pending, branch = work.pop()
+        if not pending:
+            finished.append(branch)
+            continue
+        equation = pending[0]
+        rest = pending[1:]
+        lhs = branch.expand_term(equation[0])
+        rhs = branch.expand_term(equation[1])
+
+        # Trivial simplifications.
+        if lhs == rhs:
+            work.append((rest, branch))
+            continue
+        if len(lhs) == 1 and len(rhs) == 1:
+            x, y = lhs[0], rhs[0]
+            refined = intersection(branch.automata[x], branch.automata[y]).trim()
+            if not refined.states:
+                if branch.automata[x].accepts("") and branch.automata[y].accepts(""):
+                    refined = Nfa.epsilon_language()
+                else:
+                    continue  # this branch is unsatisfiable
+            new_automata = dict(branch.automata)
+            new_automata[x] = refined
+            new_automata[y] = refined
+            substitution = dict(branch.substitution)
+            substitution[x] = (y,)
+            work.append((rest, Branch(new_automata, substitution)))
+            continue
+
+        oriented = _orient((lhs, rhs))
+        if oriented is None:
+            complete = False
+            continue
+        x, parts = oriented
+        if not parts:
+            # x = ε
+            if not branch.automata[x].accepts(""):
+                continue
+            new_automata = dict(branch.automata)
+            new_automata[x] = Nfa.epsilon_language()
+            substitution = dict(branch.substitution)
+            substitution[x] = ()
+            work.append((rest, Branch(new_automata, substitution)))
+            continue
+
+        try:
+            noodles = noodlify_assignment(
+                branch.automata[x], [(name, branch.automata[name]) for name in parts], max_noodles
+            )
+        except EquationTooHard:
+            complete = False
+            continue
+
+        if len(finished) + len(work) + len(noodles) > max_branches:
+            complete = False
+            continue
+
+        for noodle in noodles:
+            new_automata = dict(branch.automata)
+            for name, refined in noodle.items():
+                new_automata[name] = refined
+            substitution = dict(branch.substitution)
+            substitution[x] = tuple(parts)
+            work.append((rest, Branch(new_automata, substitution)))
+
+    return DecompositionResult(branches=finished, complete=complete)

@@ -1,0 +1,91 @@
+"""CNF conversion of NNF formulae for the DPLL(T) loop.
+
+Atoms are numbered ``1..n``; auxiliary Tseitin variables continue the
+numbering.  Because the input is in negation normal form (atoms occur only
+positively), the Plaisted–Greenbaum polarity optimisation applies: only the
+"definition implies content" direction of each auxiliary variable is needed,
+halving the number of clauses while preserving equisatisfiability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from .terms import And, BoolConst, Eq, Formula, Le, Or
+
+Atom = Union[Le, Eq]
+Clause = Tuple[int, ...]
+
+
+@dataclass
+class CnfResult:
+    """Result of CNF conversion."""
+
+    clauses: List[Clause] = field(default_factory=list)
+    #: boolean variable index -> theory atom (only for atom variables)
+    atom_of_var: Dict[int, Atom] = field(default_factory=dict)
+    #: canonical atom key -> boolean variable index
+    var_of_atom: Dict[Tuple, int] = field(default_factory=dict)
+    num_vars: int = 0
+    trivially_false: bool = False
+    trivially_true: bool = False
+
+
+def _atom_key(atom: Atom) -> Tuple:
+    kind = "le" if isinstance(atom, Le) else "eq"
+    return (kind, atom.expr.key())
+
+
+def to_cnf(formula: Formula) -> CnfResult:
+    """Convert an NNF formula to CNF clauses with a theory-atom mapping."""
+    result = CnfResult()
+
+    if isinstance(formula, BoolConst):
+        if formula.value:
+            result.trivially_true = True
+        else:
+            result.trivially_false = True
+        return result
+
+    def fresh_var() -> int:
+        result.num_vars += 1
+        return result.num_vars
+
+    def atom_var(atom: Atom) -> int:
+        key = _atom_key(atom)
+        existing = result.var_of_atom.get(key)
+        if existing is not None:
+            return existing
+        index = fresh_var()
+        result.var_of_atom[key] = index
+        result.atom_of_var[index] = atom
+        return index
+
+    def encode(node: Formula) -> int:
+        """Return a literal representing ``node`` (positive polarity only)."""
+        if isinstance(node, (Le, Eq)):
+            return atom_var(node)
+        if isinstance(node, BoolConst):
+            aux = fresh_var()
+            if node.value:
+                result.clauses.append((aux,))
+            else:
+                result.clauses.append((-aux,))
+            return aux
+        if isinstance(node, And):
+            aux = fresh_var()
+            for arg in node.args:
+                lit = encode(arg)
+                result.clauses.append((-aux, lit))
+            return aux
+        if isinstance(node, Or):
+            aux = fresh_var()
+            literals = [encode(arg) for arg in node.args]
+            result.clauses.append(tuple([-aux] + literals))
+            return aux
+        raise TypeError(f"to_cnf expects NNF input, got {node!r}")
+
+    root = encode(formula)
+    result.clauses.append((root,))
+    return result

@@ -1,0 +1,199 @@
+"""A DPLL SAT search with a theory hook (the "DPLL(T)" loop).
+
+The propositional part works on the clause set produced by
+:mod:`repro.lia.cnf`.  The search is a classic iterative DPLL with unit
+propagation and chronological backtracking; learned clauses (theory blocking
+clauses or theory conflict clauses) can be added during the search through
+the theory callback.
+
+The theory callback receives the set of atom variables currently assigned
+*true* and returns either ``None`` (consistent as far as it can tell) or a
+conflict clause (a tuple of literals) that is added to the clause database.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .intsolver import ResourceLimit
+
+Clause = Tuple[int, ...]
+TheoryCallback = Callable[[Set[int], bool], Optional[Clause]]
+
+
+@dataclass
+class SatStats:
+    """Counters describing one SAT search (useful in tests and benchmarks)."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    theory_checks: int = 0
+    learned_clauses: int = 0
+
+
+class DpllSolver:
+    """DPLL with unit propagation, chronological backtracking and a theory hook."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        clauses: Sequence[Clause],
+        theory_atoms: Optional[Set[int]] = None,
+        theory_callback: Optional[TheoryCallback] = None,
+        deadline: Optional[float] = None,
+        max_conflicts: int = 200000,
+    ) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[Clause] = [tuple(clause) for clause in clauses]
+        self.theory_atoms = theory_atoms or set()
+        self.theory_callback = theory_callback
+        self.deadline = deadline
+        self.max_conflicts = max_conflicts
+        self.stats = SatStats()
+
+        self.assignment: Dict[int, bool] = {}
+        # Trail of (literal, is_decision, tried_both)
+        self.trail: List[List] = []
+
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> Optional[bool]:
+        var = abs(literal)
+        if var not in self.assignment:
+            return None
+        value = self.assignment[var]
+        return value if literal > 0 else not value
+
+    def _assign(self, literal: int, is_decision: bool) -> None:
+        self.assignment[abs(literal)] = literal > 0
+        self.trail.append([literal, is_decision, False])
+
+    def _unassign_last(self) -> List:
+        entry = self.trail.pop()
+        del self.assignment[abs(entry[0])]
+        return entry
+
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[Clause]:
+        """Unit propagation; returns a falsified clause on conflict."""
+        changed = True
+        while changed:
+            changed = False
+            for clause in self.clauses:
+                unassigned: Optional[int] = None
+                satisfied = False
+                multiple_unassigned = False
+                for literal in clause:
+                    value = self._value(literal)
+                    if value is True:
+                        satisfied = True
+                        break
+                    if value is None:
+                        if unassigned is None:
+                            unassigned = literal
+                        else:
+                            multiple_unassigned = True
+                if satisfied:
+                    continue
+                if unassigned is None:
+                    return clause
+                if not multiple_unassigned:
+                    self._assign(unassigned, is_decision=False)
+                    self.stats.propagations += 1
+                    changed = True
+        return None
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        """Pick an unassigned variable (most frequent in unsatisfied clauses)."""
+        counts: Dict[int, int] = {}
+        for clause in self.clauses:
+            clause_satisfied = any(self._value(lit) is True for lit in clause)
+            if clause_satisfied:
+                continue
+            for literal in clause:
+                var = abs(literal)
+                if var not in self.assignment:
+                    counts[var] = counts.get(var, 0) + 1
+        if counts:
+            return max(counts, key=lambda v: (counts[v], -v))
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assignment:
+                return var
+        return None
+
+    def _true_theory_atoms(self) -> Set[int]:
+        return {var for var in self.theory_atoms if self.assignment.get(var) is True}
+
+    def _backtrack(self) -> bool:
+        """Undo the trail up to the last decision not yet flipped; flip it.
+
+        Returns ``False`` when no decision is left (the search space is
+        exhausted).
+        """
+        while self.trail:
+            literal, is_decision, tried_both = self.trail[-1]
+            if is_decision and not tried_both:
+                self._unassign_last()
+                # Re-assign the opposite phase as a pseudo-decision that must
+                # not be flipped again.
+                self.assignment[abs(literal)] = not (literal > 0)
+                self.trail.append([-literal, True, True])
+                return True
+            self._unassign_last()
+        return False
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Tuple[str, Optional[Dict[int, bool]]]:
+        """Run the search; returns ``("sat", model)``, ``("unsat", None)``.
+
+        Raises :class:`ResourceLimit` when the conflict or time budget is
+        exhausted.
+        """
+        while True:
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                raise ResourceLimit("SAT search exceeded the time budget")
+
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if self.stats.conflicts > self.max_conflicts:
+                    raise ResourceLimit("SAT search exceeded the conflict budget")
+                if not self._backtrack():
+                    return "unsat", None
+                continue
+
+            # Theory consistency of the currently-true atoms (cheap check).
+            if self.theory_callback is not None and self.theory_atoms:
+                self.stats.theory_checks += 1
+                clause = self.theory_callback(self._true_theory_atoms(), False)
+                if clause is not None:
+                    self.clauses.append(tuple(clause))
+                    self.stats.learned_clauses += 1
+                    self.stats.conflicts += 1
+                    if self.stats.conflicts > self.max_conflicts:
+                        raise ResourceLimit("SAT search exceeded the conflict budget")
+                    if not self._backtrack():
+                        return "unsat", None
+                    continue
+
+            branch_var = self._pick_branch_variable()
+            if branch_var is None:
+                # Complete assignment: run the full (integer) theory check.
+                if self.theory_callback is not None:
+                    self.stats.theory_checks += 1
+                    clause = self.theory_callback(self._true_theory_atoms(), True)
+                    if clause is not None:
+                        self.clauses.append(tuple(clause))
+                        self.stats.learned_clauses += 1
+                        self.stats.conflicts += 1
+                        if self.stats.conflicts > self.max_conflicts:
+                            raise ResourceLimit("SAT search exceeded the conflict budget")
+                        if not self._backtrack():
+                            return "unsat", None
+                        continue
+                return "sat", dict(self.assignment)
+
+            self.stats.decisions += 1
+            self._assign(branch_var, is_decision=True)

@@ -1,0 +1,315 @@
+"""An exact-rational general simplex for conjunctions of linear constraints.
+
+This is the theory core of the reproduction's LIA solver and follows the
+general simplex of Dutertre and de Moura ("A Fast Linear-Arithmetic Solver
+for DPLL(T)", CAV 2006): every input constraint ``Σ c_i·x_i ⋈ b`` is turned
+into a *slack variable* ``s = Σ c_i·x_i`` with a bound on ``s``; the tableau
+keeps basic variables expressed as linear combinations of non-basic ones and
+the ``check`` procedure repairs bound violations by pivoting (Bland's rule
+guarantees termination).
+
+All arithmetic uses :class:`fractions.Fraction`, so results are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .terms import LinExpr
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr ⋈ 0`` with ``⋈`` in ``{"<=", ">=", "=="}``.
+
+    ``tag`` is an opaque label used to report which constraints participate
+    in an infeasibility (the conflict "core").
+    """
+
+    expr: LinExpr
+    relation: str
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        if self.relation not in ("<=", ">=", "=="):
+            raise ValueError(f"unsupported relation {self.relation!r}")
+
+
+class SimplexResult:
+    """Outcome of a feasibility check."""
+
+    def __init__(self, feasible: bool, model: Optional[Dict[str, Fraction]] = None,
+                 conflict: Optional[Set[object]] = None) -> None:
+        self.feasible = feasible
+        self.model = model or {}
+        self.conflict = conflict or set()
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.feasible
+
+
+_NEG_INF = None  # represented by None in lower bounds
+_POS_INF = None  # represented by None in upper bounds
+
+
+class Simplex:
+    """Feasibility checker for a conjunction of linear constraints over Q.
+
+    Usage::
+
+        simplex = Simplex()
+        simplex.add_constraint(Constraint(expr, "<=", tag))
+        result = simplex.check()
+    """
+
+    def __init__(self) -> None:
+        # Variable bookkeeping.  Variables are identified by strings; slack
+        # variables get fresh names "__s<k>".
+        self._order: Dict[str, int] = {}
+        self._lower: Dict[str, Optional[Fraction]] = {}
+        self._upper: Dict[str, Optional[Fraction]] = {}
+        self._lower_tag: Dict[str, object] = {}
+        self._upper_tag: Dict[str, object] = {}
+        self._assignment: Dict[str, Fraction] = {}
+        # Tableau: basic variable -> {nonbasic variable -> coefficient}.
+        self._rows: Dict[str, Dict[str, Fraction]] = {}
+        self._basic: Set[str] = set()
+        self._slack_index = 0
+        # Reuse slack variables for syntactically identical linear forms.
+        self._slack_cache: Dict[Tuple, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _ensure_var(self, name: str) -> None:
+        if name not in self._order:
+            self._order[name] = len(self._order)
+            self._lower[name] = None
+            self._upper[name] = None
+            self._assignment[name] = Fraction(0)
+
+    def _fresh_slack(self) -> str:
+        name = f"__s{self._slack_index}"
+        self._slack_index += 1
+        return name
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Register a constraint; call :meth:`check` afterwards."""
+        expr = constraint.expr
+        linear = LinExpr(expr.coeffs, 0)
+        bound = Fraction(-expr.const)
+
+        for name in linear.coeffs:
+            self._ensure_var(name)
+
+        if len(linear.coeffs) == 1:
+            # Simple bound on a single variable: avoid creating a slack.
+            ((name, coeff),) = linear.coeffs.items()
+            coeff = Fraction(coeff)
+            value = bound / coeff
+            relation = constraint.relation
+            if coeff < 0 and relation in ("<=", ">="):
+                relation = ">=" if relation == "<=" else "<="
+            self._assert_bound(name, relation, value, constraint.tag)
+            return
+
+        key = tuple(sorted((name, Fraction(coeff)) for name, coeff in linear.coeffs.items()))
+        slack = self._slack_cache.get(key)
+        if slack is None:
+            slack = self._fresh_slack()
+            self._slack_cache[key] = slack
+            self._ensure_var(slack)
+            row = {name: Fraction(coeff) for name, coeff in linear.coeffs.items()}
+            # Express the slack in terms of current *non-basic* variables.
+            resolved: Dict[str, Fraction] = {}
+            for name, coeff in row.items():
+                if name in self._basic:
+                    for inner_name, inner_coeff in self._rows[name].items():
+                        resolved[inner_name] = resolved.get(inner_name, Fraction(0)) + coeff * inner_coeff
+                else:
+                    resolved[name] = resolved.get(name, Fraction(0)) + coeff
+            resolved = {name: coeff for name, coeff in resolved.items() if coeff != 0}
+            self._rows[slack] = resolved
+            self._basic.add(slack)
+            self._assignment[slack] = sum(
+                (
+                    coeff * self._assignment[name]
+                    for name, coeff in resolved.items()
+                    if self._assignment[name]
+                ),
+                Fraction(0),
+            )
+        self._assert_bound(slack, constraint.relation, bound, constraint.tag)
+
+    def _assert_bound(self, name: str, relation: str, value: Fraction, tag: object) -> None:
+        value = Fraction(value)
+        if relation in ("<=", "=="):
+            current = self._upper[name]
+            if current is None or value < current:
+                self._upper[name] = value
+                self._upper_tag[name] = tag
+        if relation in (">=", "=="):
+            current = self._lower[name]
+            if current is None or value > current:
+                self._lower[name] = value
+                self._lower_tag[name] = tag
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _violates_lower(self, name: str) -> bool:
+        low = self._lower[name]
+        return low is not None and self._assignment[name] < low
+
+    def _violates_upper(self, name: str) -> bool:
+        up = self._upper[name]
+        return up is not None and self._assignment[name] > up
+
+    def _update_nonbasic(self, name: str, value: Fraction) -> None:
+        delta = value - self._assignment[name]
+        if delta == 0:
+            return
+        self._assignment[name] = value
+        for basic, row in self._rows.items():
+            coeff = row.get(name)
+            if coeff:
+                self._assignment[basic] += coeff * delta
+
+    def _pivot(self, basic: str, nonbasic: str) -> None:
+        row = self._rows.pop(basic)
+        self._basic.discard(basic)
+        coeff = row[nonbasic]
+        # nonbasic = (basic - sum_{k != nonbasic} a_k x_k) / coeff
+        new_row: Dict[str, Fraction] = {basic: Fraction(1) / coeff}
+        for name, a in row.items():
+            if name != nonbasic:
+                new_row[name] = -a / coeff
+        self._rows[nonbasic] = {k: v for k, v in new_row.items() if v != 0}
+        self._basic.add(nonbasic)
+        # Substitute into the remaining rows.
+        for other, other_row in self._rows.items():
+            if other == nonbasic:
+                continue
+            a = other_row.pop(nonbasic, None)
+            if a:
+                for name, b in self._rows[nonbasic].items():
+                    other_row[name] = other_row.get(name, Fraction(0)) + a * b
+                self._rows[other] = {k: v for k, v in other_row.items() if v != 0}
+
+    def _pivot_and_update(self, basic: str, nonbasic: str, target: Fraction) -> None:
+        coeff = self._rows[basic][nonbasic]
+        theta = (target - self._assignment[basic]) / coeff
+        self._assignment[basic] = target
+        self._assignment[nonbasic] += theta
+        for other, row in self._rows.items():
+            if other != basic:
+                a = row.get(nonbasic)
+                if a:
+                    self._assignment[other] += a * theta
+        self._pivot(basic, nonbasic)
+
+    def _check_fixed_bounds(self) -> Optional[SimplexResult]:
+        """Detect immediately contradictory bounds ``lower > upper``."""
+        for name in self._order:
+            low, up = self._lower[name], self._upper[name]
+            if low is not None and up is not None and low > up:
+                conflict = {self._lower_tag.get(name), self._upper_tag.get(name)}
+                return SimplexResult(False, conflict={tag for tag in conflict if tag is not None})
+        return None
+
+    def check(self, max_pivots: int = 100000) -> SimplexResult:
+        """Decide feasibility over the rationals.
+
+        Returns a :class:`SimplexResult`; when infeasible, ``conflict``
+        contains the tags of constraints participating in the conflict (a
+        superset of a minimal core).
+        """
+        contradiction = self._check_fixed_bounds()
+        if contradiction is not None:
+            return contradiction
+
+        # Repair non-basic variables that violate their own bounds.
+        for name in self._order:
+            if name in self._basic:
+                continue
+            low, up = self._lower[name], self._upper[name]
+            value = self._assignment[name]
+            if low is not None and value < low:
+                self._update_nonbasic(name, low)
+            elif up is not None and value > up:
+                self._update_nonbasic(name, up)
+
+        def var_index(name: str) -> int:
+            return self._order[name]
+
+        for _ in range(max_pivots):
+            violating: Optional[str] = None
+            for name in sorted(self._basic, key=var_index):
+                if self._violates_lower(name) or self._violates_upper(name):
+                    violating = name
+                    break
+            if violating is None:
+                model = {name: self._assignment[name] for name in self._order}
+                return SimplexResult(True, model=model)
+
+            row = self._rows[violating]
+            if self._violates_lower(violating):
+                target = self._lower[violating]
+                candidates = [
+                    name
+                    for name, coeff in row.items()
+                    if (coeff > 0 and (self._upper[name] is None or self._assignment[name] < self._upper[name]))
+                    or (coeff < 0 and (self._lower[name] is None or self._assignment[name] > self._lower[name]))
+                ]
+                if not candidates:
+                    return SimplexResult(False, conflict=self._conflict_for(violating, lower=True))
+                pivot_var = min(candidates, key=var_index)
+                self._pivot_and_update(violating, pivot_var, target)
+            else:
+                target = self._upper[violating]
+                candidates = [
+                    name
+                    for name, coeff in row.items()
+                    if (coeff < 0 and (self._upper[name] is None or self._assignment[name] < self._upper[name]))
+                    or (coeff > 0 and (self._lower[name] is None or self._assignment[name] > self._lower[name]))
+                ]
+                if not candidates:
+                    return SimplexResult(False, conflict=self._conflict_for(violating, lower=False))
+                pivot_var = min(candidates, key=var_index)
+                self._pivot_and_update(violating, pivot_var, target)
+        raise RuntimeError("simplex exceeded the pivot limit")
+
+    def _conflict_for(self, basic: str, lower: bool) -> Set[object]:
+        """Collect constraint tags explaining why ``basic`` cannot be repaired."""
+        tags: Set[object] = set()
+        own_tag = self._lower_tag.get(basic) if lower else self._upper_tag.get(basic)
+        if own_tag is not None:
+            tags.add(own_tag)
+        for name, coeff in self._rows[basic].items():
+            if lower:
+                tag = self._upper_tag.get(name) if coeff > 0 else self._lower_tag.get(name)
+            else:
+                tag = self._lower_tag.get(name) if coeff > 0 else self._upper_tag.get(name)
+            if tag is not None:
+                tags.add(tag)
+        return tags
+
+
+def check_constraints(constraints: Sequence[Constraint]) -> SimplexResult:
+    """Convenience wrapper: check feasibility of ``constraints`` over Q."""
+    simplex = Simplex()
+    for constraint in constraints:
+        simplex.add_constraint(constraint)
+    return simplex.check()
+
+
+def rational_model_to_int(model: Mapping[str, Fraction]) -> Optional[Dict[str, int]]:
+    """Return the model as integers when every value is integral, else ``None``."""
+    result: Dict[str, int] = {}
+    for name, value in model.items():
+        if value.denominator != 1:
+            return None
+        result[name] = int(value)
+    return result

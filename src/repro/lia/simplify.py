@@ -1,0 +1,98 @@
+"""Preprocessing of LIA formulae before the DPLL(T) search.
+
+Parikh (tag) formulae are dominated by *defining equalities*: tag counters
+are sums of transition counters, most ``γ`` variables are fixed to 0, and
+Kirchhoff constraints chain counters together.  Eliminating such equalities
+by substitution shrinks the formula dramatically (fewer atoms, fewer
+variables) and is the single most important performance lever of the solver.
+
+The elimination is satisfiability- and model-preserving: each eliminated
+variable has a definition ``v = expr`` with unit coefficient, recorded in
+order so that :func:`complete_model` can recover its value from a model of
+the reduced formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .terms import And, BoolConst, Eq, Formula, LinExpr, conj, substitute
+
+#: Maximum number of variables in a defining expression used for elimination;
+#: larger definitions cause too much fill-in to be worth substituting.
+_MAX_DEFINITION_SIZE = 24
+
+
+def _isolate(expr: LinExpr, exclude: set) -> Optional[Tuple[str, LinExpr]]:
+    """Find a variable with coefficient ±1 in ``expr = 0`` and solve for it."""
+    for name, coeff in expr.coeffs.items():
+        if name in exclude:
+            continue
+        if coeff in (1, -1):
+            rest_coeffs = {other: c for other, c in expr.coeffs.items() if other != name}
+            rest = LinExpr(rest_coeffs, expr.const)
+            definition = rest * (-1) if coeff == 1 else rest
+            if len(definition.coeffs) <= _MAX_DEFINITION_SIZE:
+                return name, definition
+    return None
+
+
+def eliminate_equalities(
+    formula: Formula, protected: Optional[set] = None
+) -> Tuple[Formula, List[Tuple[str, LinExpr]]]:
+    """Eliminate top-level defining equalities by substitution.
+
+    ``protected`` variables are never eliminated (useful when the caller needs
+    their values to appear directly in the reduced model, e.g. user-visible
+    length variables).  Returns the reduced formula and the elimination order.
+    """
+    protected = set(protected or ())
+    eliminated: List[Tuple[str, LinExpr]] = []
+
+    if not isinstance(formula, And):
+        return formula, eliminated
+
+    conjuncts = list(formula.args)
+    changed = True
+    while changed:
+        changed = False
+        for index, conjunct in enumerate(conjuncts):
+            if not isinstance(conjunct, Eq):
+                continue
+            isolated = _isolate(conjunct.expr, protected)
+            if isolated is None:
+                continue
+            name, definition = isolated
+            mapping = {name: definition}
+            new_conjuncts = []
+            for position, other in enumerate(conjuncts):
+                if position == index:
+                    continue
+                replaced = substitute(other, mapping)
+                if isinstance(replaced, BoolConst) and replaced.value:
+                    continue
+                new_conjuncts.append(replaced)
+            eliminated.append((name, definition))
+            conjuncts = new_conjuncts
+            changed = True
+            break
+
+    reduced = conj(conjuncts)
+    return reduced, eliminated
+
+
+def complete_model(model: Dict[str, int], eliminated: List[Tuple[str, LinExpr]]) -> Dict[str, int]:
+    """Extend a model of the reduced formula with the eliminated variables.
+
+    Definitions are evaluated in reverse elimination order (later definitions
+    may mention variables eliminated earlier... they cannot, but reverse order
+    is the safe direction because each definition only mentions variables
+    still present when it was created).
+    """
+    completed = dict(model)
+    for name, definition in reversed(eliminated):
+        value = definition.const
+        for other, coeff in definition.coeffs.items():
+            value += coeff * completed.get(other, 0)
+        completed[name] = int(value)
+    return completed

@@ -1,0 +1,515 @@
+"""Linear integer arithmetic (LIA) terms and formulae.
+
+The decision procedure of the paper reduces position constraints to LIA
+formulae over Parikh variables.  This module provides the formula
+representation consumed by :mod:`repro.lia.solver`:
+
+* :class:`LinExpr` — a linear expression ``c0 + c1*x1 + ... + cn*xn`` with
+  integer coefficients, represented as a mapping from variable names to
+  coefficients plus a constant,
+* atoms — ``expr <= 0`` (:class:`Le`) and ``expr = 0`` (:class:`Eq`),
+* boolean structure — :class:`And`, :class:`Or`, :class:`Not`,
+  :class:`Implies`, :class:`Iff`, :class:`BoolConst`,
+* quantifiers — :class:`Exists` and :class:`ForAll` (used by the ¬contains
+  reduction of §6.4).
+
+Construction helpers (``le``, ``lt``, ``eq_expr``, ``ne``, ``conj``, ...) are
+provided at the bottom of the module; they perform light-weight
+normalisation so that trivially true/false subformulae collapse early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, Fraction]
+
+
+# ----------------------------------------------------------------------
+# Linear expressions
+# ----------------------------------------------------------------------
+class LinExpr:
+    """An immutable linear expression with integer (or rational) coefficients."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[Mapping[str, Number]] = None, const: Number = 0) -> None:
+        cleaned: Dict[str, Number] = {}
+        if coeffs:
+            for name, coeff in coeffs.items():
+                if coeff != 0:
+                    cleaned[name] = coeff
+        self.coeffs: Dict[str, Number] = cleaned
+        self.const: Number = const
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def var(name: str) -> "LinExpr":
+        """Return the expression consisting of a single variable."""
+        return LinExpr({name: 1}, 0)
+
+    @staticmethod
+    def constant(value: Number) -> "LinExpr":
+        """Return a constant expression."""
+        return LinExpr({}, value)
+
+    @staticmethod
+    def sum_of(exprs: Iterable["LinExpr"]) -> "LinExpr":
+        """Return the sum of the given expressions."""
+        total = LinExpr()
+        for expr in exprs:
+            total = total + expr
+        return total
+
+    # -- arithmetic -----------------------------------------------------
+    def _coerce(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        return LinExpr.constant(other)
+
+    def __add__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        other = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for name, coeff in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0) + coeff
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        return self + (self._coerce(other) * -1)
+
+    def __rsub__(self, other: Union["LinExpr", Number]) -> "LinExpr":
+        return self._coerce(other) - self
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if isinstance(scalar, LinExpr):
+            raise TypeError("LinExpr supports only multiplication by constants")
+        return LinExpr({name: coeff * scalar for name, coeff in self.coeffs.items()}, self.const * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1
+
+    # -- queries ---------------------------------------------------------
+    def variables(self) -> Tuple[str, ...]:
+        """Return the variables occurring with a non-zero coefficient."""
+        return tuple(sorted(self.coeffs))
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> Number:
+        """Evaluate the expression under a (total) variable assignment."""
+        value: Number = self.const
+        for name, coeff in self.coeffs.items():
+            value += coeff * assignment[name]
+        return value
+
+    def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Substitute variables by expressions."""
+        result = LinExpr.constant(self.const)
+        for name, coeff in self.coeffs.items():
+            if name in mapping:
+                result = result + mapping[name] * coeff
+            else:
+                result = result + LinExpr({name: coeff})
+        return result
+
+    # -- misc -------------------------------------------------------------
+    def key(self) -> Tuple:
+        """A hashable canonical key (used for atom deduplication)."""
+        return (tuple(sorted(self.coeffs.items())), self.const)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinExpr) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        parts: List[str] = []
+        for name in sorted(self.coeffs):
+            coeff = self.coeffs[name]
+            parts.append(f"{coeff}*{name}" if coeff != 1 else name)
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Formulae
+# ----------------------------------------------------------------------
+class Formula:
+    """Base class of LIA formulae."""
+
+    def variables(self) -> Tuple[str, ...]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj([self, other])
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+
+@dataclass(frozen=True)
+class BoolConst(Formula):
+    """The constants ``true`` / ``false``."""
+
+    value: bool
+
+    def variables(self) -> Tuple[str, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class Le(Formula):
+    """The atom ``expr <= 0``."""
+
+    expr: LinExpr
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.expr} <= 0)"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """The atom ``expr = 0``."""
+
+    expr: LinExpr
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.expr} = 0)"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    args: Tuple[Formula, ...]
+
+    def variables(self) -> Tuple[str, ...]:
+        seen = set()
+        for arg in self.args:
+            seen.update(arg.variables())
+        return tuple(sorted(seen))
+
+    def __repr__(self) -> str:
+        return "(and " + " ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    args: Tuple[Formula, ...]
+
+    def variables(self) -> Tuple[str, ...]:
+        seen = set()
+        for arg in self.args:
+            seen.update(arg.variables())
+        return tuple(sorted(seen))
+
+    def __repr__(self) -> str:
+        return "(or " + " ".join(map(repr, self.args)) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    arg: Formula
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.arg.variables()
+
+    def __repr__(self) -> str:
+        return f"(not {self.arg!r})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``antecedent -> consequent``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.antecedent.variables()) | set(self.consequent.variables())))
+
+    def __repr__(self) -> str:
+        return f"(=> {self.antecedent!r} {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Bi-implication."""
+
+    left: Formula
+    right: Formula
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.left.variables()) | set(self.right.variables())))
+
+    def __repr__(self) -> str:
+        return f"(= {self.left!r} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over integer variables."""
+
+    bound: Tuple[str, ...]
+    body: Formula
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.body.variables()) - set(self.bound)))
+
+    def __repr__(self) -> str:
+        return f"(exists ({' '.join(self.bound)}) {self.body!r})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """Universal quantification over integer variables."""
+
+    bound: Tuple[str, ...]
+    body: Formula
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.body.variables()) - set(self.bound)))
+
+    def __repr__(self) -> str:
+        return f"(forall ({' '.join(self.bound)}) {self.body!r})"
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+def _as_expr(value: Union[LinExpr, Number, str]) -> LinExpr:
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, str):
+        return LinExpr.var(value)
+    return LinExpr.constant(value)
+
+
+def var(name: str) -> LinExpr:
+    """Return the linear expression for the integer variable ``name``."""
+    return LinExpr.var(name)
+
+
+def const(value: Number) -> LinExpr:
+    """Return a constant linear expression."""
+    return LinExpr.constant(value)
+
+
+def le(left: Union[LinExpr, Number, str], right: Union[LinExpr, Number, str]) -> Formula:
+    """The atom ``left <= right``."""
+    expr = _as_expr(left) - _as_expr(right)
+    if expr.is_constant():
+        return TRUE if expr.const <= 0 else FALSE
+    return Le(expr)
+
+
+def ge(left: Union[LinExpr, Number, str], right: Union[LinExpr, Number, str]) -> Formula:
+    """The atom ``left >= right``."""
+    return le(right, left)
+
+
+def lt(left: Union[LinExpr, Number, str], right: Union[LinExpr, Number, str]) -> Formula:
+    """The atom ``left < right`` (over the integers: ``left <= right - 1``)."""
+    return le(_as_expr(left) + 1, right)
+
+
+def gt(left: Union[LinExpr, Number, str], right: Union[LinExpr, Number, str]) -> Formula:
+    """The atom ``left > right``."""
+    return lt(right, left)
+
+
+def eq(left: Union[LinExpr, Number, str], right: Union[LinExpr, Number, str]) -> Formula:
+    """The atom ``left = right``."""
+    expr = _as_expr(left) - _as_expr(right)
+    if expr.is_constant():
+        return TRUE if expr.const == 0 else FALSE
+    return Eq(expr)
+
+
+def ne(left: Union[LinExpr, Number, str], right: Union[LinExpr, Number, str]) -> Formula:
+    """The formula ``left != right`` (expanded to a disjunction of strict inequalities)."""
+    expr = _as_expr(left) - _as_expr(right)
+    if expr.is_constant():
+        return TRUE if expr.const != 0 else FALSE
+    return disj([lt(expr, 0), gt(expr, 0)])
+
+
+def conj(args: Sequence[Formula]) -> Formula:
+    """N-ary conjunction with constant folding and flattening."""
+    flattened: List[Formula] = []
+    for arg in args:
+        if isinstance(arg, BoolConst):
+            if not arg.value:
+                return FALSE
+            continue
+        if isinstance(arg, And):
+            flattened.extend(arg.args)
+        else:
+            flattened.append(arg)
+    if not flattened:
+        return TRUE
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(tuple(flattened))
+
+
+def disj(args: Sequence[Formula]) -> Formula:
+    """N-ary disjunction with constant folding and flattening."""
+    flattened: List[Formula] = []
+    for arg in args:
+        if isinstance(arg, BoolConst):
+            if arg.value:
+                return TRUE
+            continue
+        if isinstance(arg, Or):
+            flattened.extend(arg.args)
+        else:
+            flattened.append(arg)
+    if not flattened:
+        return FALSE
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(tuple(flattened))
+
+
+def neg(arg: Formula) -> Formula:
+    """Negation with constant folding and double-negation elimination."""
+    if isinstance(arg, BoolConst):
+        return FALSE if arg.value else TRUE
+    if isinstance(arg, Not):
+        return arg.arg
+    return Not(arg)
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Implication with constant folding."""
+    if isinstance(antecedent, BoolConst):
+        return consequent if antecedent.value else TRUE
+    if isinstance(consequent, BoolConst):
+        return TRUE if consequent.value else neg(antecedent)
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Bi-implication with constant folding."""
+    if isinstance(left, BoolConst):
+        return right if left.value else neg(right)
+    if isinstance(right, BoolConst):
+        return left if right.value else neg(left)
+    return Iff(left, right)
+
+
+def exists(names: Sequence[str], body: Formula) -> Formula:
+    """Existential quantification (skipped when no variable is bound)."""
+    names = tuple(names)
+    if not names:
+        return body
+    return Exists(names, body)
+
+
+def forall(names: Sequence[str], body: Formula) -> Formula:
+    """Universal quantification (skipped when no variable is bound)."""
+    names = tuple(names)
+    if not names:
+        return body
+    return ForAll(names, body)
+
+
+def evaluate(formula: Formula, assignment: Mapping[str, Number]) -> bool:
+    """Evaluate a quantifier-free formula under a total assignment."""
+    if isinstance(formula, BoolConst):
+        return formula.value
+    if isinstance(formula, Le):
+        return formula.expr.evaluate(assignment) <= 0
+    if isinstance(formula, Eq):
+        return formula.expr.evaluate(assignment) == 0
+    if isinstance(formula, And):
+        return all(evaluate(arg, assignment) for arg in formula.args)
+    if isinstance(formula, Or):
+        return any(evaluate(arg, assignment) for arg in formula.args)
+    if isinstance(formula, Not):
+        return not evaluate(formula.arg, assignment)
+    if isinstance(formula, Implies):
+        return (not evaluate(formula.antecedent, assignment)) or evaluate(formula.consequent, assignment)
+    if isinstance(formula, Iff):
+        return evaluate(formula.left, assignment) == evaluate(formula.right, assignment)
+    raise TypeError(f"cannot evaluate quantified formula {formula!r}")
+
+
+def substitute(formula: Formula, mapping: Mapping[str, LinExpr]) -> Formula:
+    """Substitute variables by linear expressions throughout a formula."""
+    if isinstance(formula, BoolConst):
+        return formula
+    if isinstance(formula, Le):
+        expr = formula.expr.substitute(mapping)
+        if expr.is_constant():
+            return TRUE if expr.const <= 0 else FALSE
+        return Le(expr)
+    if isinstance(formula, Eq):
+        expr = formula.expr.substitute(mapping)
+        if expr.is_constant():
+            return TRUE if expr.const == 0 else FALSE
+        return Eq(expr)
+    if isinstance(formula, And):
+        return conj([substitute(arg, mapping) for arg in formula.args])
+    if isinstance(formula, Or):
+        return disj([substitute(arg, mapping) for arg in formula.args])
+    if isinstance(formula, Not):
+        return neg(substitute(formula.arg, mapping))
+    if isinstance(formula, Implies):
+        return implies(substitute(formula.antecedent, mapping), substitute(formula.consequent, mapping))
+    if isinstance(formula, Iff):
+        return iff(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, Exists):
+        inner = {k: v for k, v in mapping.items() if k not in formula.bound}
+        return Exists(formula.bound, substitute(formula.body, inner))
+    if isinstance(formula, ForAll):
+        inner = {k: v for k, v in mapping.items() if k not in formula.bound}
+        return ForAll(formula.bound, substitute(formula.body, inner))
+    raise TypeError(f"unsupported formula {formula!r}")
+
+
+def formula_size(formula: Formula) -> int:
+    """Return the number of AST nodes (used for the size claims in tests)."""
+    if isinstance(formula, (BoolConst, Le, Eq)):
+        return 1
+    if isinstance(formula, And) or isinstance(formula, Or):
+        return 1 + sum(formula_size(arg) for arg in formula.args)
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.arg)
+    if isinstance(formula, Implies):
+        return 1 + formula_size(formula.antecedent) + formula_size(formula.consequent)
+    if isinstance(formula, Iff):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return 1 + formula_size(formula.body)
+    raise TypeError(f"unsupported formula {formula!r}")

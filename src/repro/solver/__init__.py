@@ -1,0 +1,19 @@
+"""String solvers: the position-procedure solver and the comparison baselines."""
+
+from .config import SolverConfig
+from .result import SolveResult, Status, StringModel
+from .solver import PositionSolver
+from .baseline import EagerReductionSolver
+from .enumerative import EnumerativeSolver
+from .bruteforce import brute_force_check
+
+__all__ = [
+    "SolverConfig",
+    "SolveResult",
+    "Status",
+    "StringModel",
+    "PositionSolver",
+    "EagerReductionSolver",
+    "EnumerativeSolver",
+    "brute_force_check",
+]

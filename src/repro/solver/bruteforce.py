@@ -1,0 +1,65 @@
+"""Bounded brute-force oracle.
+
+Unlike :class:`repro.solver.enumerative.EnumerativeSolver` (which is one of
+the benchmark baselines), this oracle is a *testing* device: it answers SAT
+or UNSAT only when the answer is certain within the given bound (finite
+languages, bounded integers) and is used to cross-check the other solvers.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from ..automata.enumeration import is_finite, words_up_to
+from ..strings.ast import Problem
+from ..strings.normal_form import normalize
+from ..strings.semantics import eval_problem
+from .result import SolveResult, Status, StringModel, Stopwatch
+
+
+def brute_force_check(
+    problem: Problem,
+    max_length: int = 4,
+    integer_bounds: Tuple[int, int] = (-1, 8),
+    timeout: Optional[float] = None,
+) -> SolveResult:
+    """Exhaustively search for a model within the given bounds.
+
+    Returns SAT with a model, UNSAT when the search space provably covers
+    every candidate (all languages finite within the bound and no integer
+    variables beyond the supplied range matter), and UNKNOWN otherwise.
+    """
+    watch = Stopwatch(timeout)
+    normal_form = normalize(problem)
+    variables = list(problem.string_variables())
+    integer_variables = list(problem.integer_variables())
+
+    candidate_words: Dict[str, List[str]] = {}
+    exhaustive = True
+    for name in variables:
+        nfa = normal_form.automata[name]
+        candidate_words[name] = list(words_up_to(nfa, max_length))
+        if not is_finite(nfa):
+            exhaustive = False
+
+    low, high = integer_bounds
+    integer_domain = list(range(low, high + 1))
+
+    names = sorted(candidate_words)
+    for choice in product(*(candidate_words[name] for name in names)):
+        if watch.expired():
+            return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed())
+        strings = dict(zip(names, choice))
+        for values in product(integer_domain, repeat=len(integer_variables)):
+            integers = dict(zip(integer_variables, values))
+            if eval_problem(problem, strings, integers):
+                return SolveResult(
+                    Status.SAT,
+                    model=StringModel(strings=strings, integers=integers),
+                    elapsed=watch.elapsed(),
+                )
+
+    if exhaustive and not integer_variables:
+        return SolveResult(Status.UNSAT, elapsed=watch.elapsed())
+    return SolveResult(Status.UNKNOWN, elapsed=watch.elapsed(), reason="bounded search exhausted")

@@ -1,0 +1,31 @@
+"""Configuration of the string solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lia import LiaConfig
+
+
+@dataclass
+class SolverConfig:
+    """Tunable limits of :class:`repro.solver.solver.PositionSolver`.
+
+    The defaults are sized for the scaled-down benchmark suite; the paper's
+    experiments used a 120 s timeout per instance.
+    """
+
+    #: wall-clock budget per ``check`` call (seconds); ``None`` = unlimited
+    timeout: Optional[float] = 60.0
+    #: maximum number of monadic-decomposition branches explored
+    max_branches: int = 128
+    #: maximum number of noodles per equation split
+    max_noodles: int = 256
+    #: MBQI rounds for ¬contains (lemma instantiations per check)
+    max_instantiation_rounds: int = 40
+    #: configuration of the underlying LIA solver
+    lia: LiaConfig = field(default_factory=LiaConfig)
+    #: verify every SAT model against the original problem (cheap, keeps the
+    #: solver sound even in the presence of encoder bugs)
+    verify_models: bool = True

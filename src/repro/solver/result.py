@@ -1,0 +1,77 @@
+"""Result types shared by all solver frontends."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+
+class Status(Enum):
+    """Verdict of a satisfiability check."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+    TIMEOUT = "timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class StringModel:
+    """A model: words for string variables, integers for integer variables."""
+
+    strings: Dict[str, str] = field(default_factory=dict)
+    integers: Dict[str, int] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> str:
+        return self.strings[name]
+
+
+@dataclass
+class SolveResult:
+    """Status plus optional model, timing and diagnostic information."""
+
+    status: Status
+    model: Optional[StringModel] = None
+    elapsed: float = 0.0
+    reason: str = ""
+    #: number of decomposition branches explored
+    branches_explored: int = 0
+    #: number of LIA queries issued
+    lia_queries: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+    @property
+    def solved(self) -> bool:
+        return self.status in (Status.SAT, Status.UNSAT)
+
+
+class Stopwatch:
+    """Tiny helper measuring elapsed wall-clock time and deadlines."""
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self.start = time.monotonic()
+        self.timeout = timeout
+
+    @property
+    def deadline(self) -> Optional[float]:
+        if self.timeout is None:
+            return None
+        return self.start + self.timeout
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def expired(self) -> bool:
+        return self.timeout is not None and time.monotonic() > self.start + self.timeout

@@ -1,0 +1,407 @@
+"""The main string solver (the reproduction's analogue of Z3-Noodler-pos).
+
+Pipeline for an input problem (a conjunction of string atoms):
+
+1. **Normalisation** (:mod:`repro.strings.normal_form`) into
+   ``E ∧ R ∧ I ∧ P``.
+2. **Stabilization** (:mod:`repro.eqsolver.noodler`): the word equations
+   ``E`` are eliminated, producing a disjunction of monadic decompositions
+   (refined regular constraints plus a substitution map).
+3. **Position procedure** (:mod:`repro.core`): for every branch the
+   remaining position constraints are partitioned into components of
+   predicates sharing variables; each component is encoded into one LIA
+   formula over the Parikh image of a tag automaton — the single-predicate
+   construction ``A^II`` (§5.2) when the component has one predicate, the
+   system construction ``A^III`` (§5.3/§6.5) otherwise.  ¬contains
+   predicates over flat languages are handled by model-based quantifier
+   instantiation (§6.4).
+4. **LIA solving** (:mod:`repro.lia`) and **model reconstruction**
+   (:mod:`repro.core.witness`): every SAT verdict comes with a concrete
+   string model which is verified against the original problem.
+
+``UNSAT`` is only reported when every branch was refuted exactly (no budget
+was exceeded, no approximation was used); otherwise the solver answers
+``UNKNOWN`` — mirroring the OOR/unknown accounting of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..automata.enumeration import shortest_word
+from ..automata.nfa import Nfa
+from ..core.notcontains import NotContainsEncoder, base_transition_counts, find_failing_offset
+from ..core.predicates import (
+    Disequality,
+    NotContains,
+    NotPrefixOf,
+    NotSuffixOf,
+    PositionPredicate,
+    StrAt,
+)
+from ..core.single import SingleEncoding, encode_single
+from ..core.system import SystemEncoding, encode_system
+from ..core.witness import extract_assignment
+from ..eqsolver import Branch, decompose
+from ..lia import LiaSolver, LiaStatus, conj, eq, gt, var
+from ..lia import Formula as LiaFormula
+from ..lia import LinExpr
+from ..strings.ast import Problem, length_variable
+from ..strings.normal_form import NormalForm, normalize
+from ..strings.semantics import eval_problem
+from .config import SolverConfig
+from .result import SolveResult, Status, Stopwatch, StringModel
+
+Encoding = Union[SingleEncoding, SystemEncoding]
+
+
+@dataclass
+class _Component:
+    """A group of position predicates sharing string variables."""
+
+    predicates: List[PositionPredicate] = field(default_factory=list)
+    contains: List[NotContains] = field(default_factory=list)
+    variables: Set[str] = field(default_factory=set)
+    encoding: Optional[Encoding] = None
+    encoders: List[Tuple[NotContains, Optional[NotContainsEncoder]]] = field(default_factory=list)
+
+
+@dataclass
+class _BranchOutcome:
+    status: Status
+    model: Optional[StringModel] = None
+    reason: str = ""
+    lia_queries: int = 0
+    exact: bool = True
+
+
+class PositionSolver:
+    """String solver with the paper's position-constraint decision procedure."""
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config or SolverConfig()
+
+    # ------------------------------------------------------------------
+    def check(self, problem: Problem) -> SolveResult:
+        """Decide satisfiability of ``problem``."""
+        watch = Stopwatch(self.config.timeout)
+        normal_form = normalize(problem)
+
+        decomposition = decompose(
+            normal_form.equations,
+            normal_form.automata,
+            max_branches=self.config.max_branches,
+            max_noodles=self.config.max_noodles,
+        )
+        branches = decomposition.branches
+        if not normal_form.equations:
+            branches = [Branch(dict(normal_form.automata))]
+
+        all_exact = decomposition.complete
+        lia_queries = 0
+        saw_unknown = False
+
+        for index, branch in enumerate(branches):
+            if watch.expired():
+                return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason="timeout",
+                                   branches_explored=index, lia_queries=lia_queries)
+            outcome = self._solve_branch(problem, normal_form, branch, index, watch)
+            lia_queries += outcome.lia_queries
+            if outcome.status is Status.SAT:
+                return SolveResult(
+                    Status.SAT,
+                    model=outcome.model,
+                    elapsed=watch.elapsed(),
+                    branches_explored=index + 1,
+                    lia_queries=lia_queries,
+                )
+            if outcome.status is Status.TIMEOUT:
+                return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason=outcome.reason,
+                                   branches_explored=index + 1, lia_queries=lia_queries)
+            if outcome.status is Status.UNKNOWN:
+                saw_unknown = True
+            if not outcome.exact:
+                all_exact = False
+
+        if saw_unknown or not all_exact:
+            return SolveResult(
+                Status.UNKNOWN,
+                elapsed=watch.elapsed(),
+                reason="some branch could not be decided exactly",
+                branches_explored=len(branches),
+                lia_queries=lia_queries,
+            )
+        return SolveResult(
+            Status.UNSAT,
+            elapsed=watch.elapsed(),
+            branches_explored=len(branches),
+            lia_queries=lia_queries,
+        )
+
+    # ------------------------------------------------------------------
+    # Branch preparation
+    # ------------------------------------------------------------------
+    def _expand_predicates(
+        self, normal_form: NormalForm, branch: Branch
+    ) -> Tuple[Optional[List[PositionPredicate]], Optional[List[NotContains]], Dict[str, Nfa], str]:
+        """Apply the branch substitution to the position predicates."""
+        automata = dict(branch.automata)
+        regular: List[PositionPredicate] = []
+        contains: List[NotContains] = []
+        for predicate in normal_form.predicates:
+            if isinstance(predicate, Disequality):
+                regular.append(Disequality(branch.expand_term(predicate.lhs), branch.expand_term(predicate.rhs)))
+            elif isinstance(predicate, NotPrefixOf):
+                regular.append(NotPrefixOf(branch.expand_term(predicate.lhs), branch.expand_term(predicate.rhs)))
+            elif isinstance(predicate, NotSuffixOf):
+                regular.append(NotSuffixOf(branch.expand_term(predicate.lhs), branch.expand_term(predicate.rhs)))
+            elif isinstance(predicate, StrAt):
+                target = branch.expand(predicate.target)
+                if len(target) == 0:
+                    fresh = f"_eps{len(automata)}"
+                    automata[fresh] = Nfa.epsilon_language()
+                    target = (fresh,)
+                if len(target) != 1:
+                    return None, None, automata, "str.at target expands to a concatenation"
+                regular.append(
+                    StrAt(target[0], branch.expand_term(predicate.haystack), predicate.index, predicate.negated)
+                )
+            elif isinstance(predicate, NotContains):
+                contains.append(
+                    NotContains(branch.expand_term(predicate.needle), branch.expand_term(predicate.haystack))
+                )
+            else:  # pragma: no cover - defensive
+                return None, None, automata, f"unsupported predicate {predicate!r}"
+        return regular, contains, automata, ""
+
+    def _build_components(
+        self,
+        regular: List[PositionPredicate],
+        contains: List[NotContains],
+        normal_form: NormalForm,
+        branch: Branch,
+        automata: Dict[str, Nfa],
+        remaining: List[str],
+        index: int,
+    ) -> List[_Component]:
+        """Group predicates into components of shared variables and encode each."""
+        components: List[_Component] = []
+
+        def component_for(names: Set[str]) -> _Component:
+            hit: Optional[_Component] = None
+            for component in components:
+                if component.variables & names:
+                    if hit is None:
+                        hit = component
+                    else:  # merge
+                        hit.predicates.extend(component.predicates)
+                        hit.contains.extend(component.contains)
+                        hit.variables |= component.variables
+                        components.remove(component)
+            if hit is None:
+                hit = _Component()
+                components.append(hit)
+            hit.variables |= names
+            return hit
+
+        for predicate in regular:
+            component_for(set(predicate.string_variables())).predicates.append(predicate)
+        for predicate in contains:
+            component_for(set(predicate.string_variables())).contains.append(predicate)
+
+        # Variables whose length is referenced by the integer constraints but
+        # that belong to no predicate need a (predicate-free) encoding so that
+        # their ⟨L, x⟩ counters exist.
+        referenced = set()
+        for name in normal_form.integer_formula.variables():
+            if name.startswith("@len."):
+                original = name[len("@len.") :]
+                expansion = (
+                    branch.expand(original)
+                    if (original in branch.automata or original in branch.substitution)
+                    else (original,)
+                )
+                referenced.update(expansion)
+        uncovered = [name for name in referenced if name in automata and not any(name in c.variables for c in components)]
+        if uncovered:
+            leftover = _Component(variables=set(uncovered))
+            components.append(leftover)
+
+        for position, component in enumerate(components):
+            prefix = f"b{index}.c{position}."
+            extra = sorted(component.variables)
+            if len(component.predicates) == 1 and not component.contains:
+                component.encoding = encode_single(
+                    component.predicates[0], automata, prefix=prefix,
+                    extra_variables=[v for v in extra if v not in component.predicates[0].string_variables()],
+                )
+            else:
+                component.encoding = encode_system(
+                    component.predicates, automata, prefix=prefix, extra_variables=extra
+                )
+            for nc_index, predicate in enumerate(component.contains):
+                encoder = NotContainsEncoder(predicate, automata, index=nc_index)
+                component.encoders.append((predicate, encoder if encoder.languages_are_flat() else None))
+        return components
+
+    def _length_links(
+        self, normal_form: NormalForm, branch: Branch, components: List[_Component]
+    ) -> LiaFormula:
+        """Tie the reserved ``@len.x`` variables to tag counters of the encodings."""
+
+        def length_of(name: str) -> Optional[LinExpr]:
+            for component in components:
+                if name in component.variables:
+                    return component.encoding.length_of(name)
+            return None
+
+        referenced = [
+            name[len("@len.") :]
+            for name in normal_form.integer_formula.variables()
+            if name.startswith("@len.")
+        ]
+        links = []
+        for name in referenced:
+            expansion = (
+                branch.expand(name)
+                if (name in branch.automata or name in branch.substitution)
+                else (name,)
+            )
+            total = LinExpr.constant(0)
+            covered = True
+            for part in expansion:
+                expr = length_of(part)
+                if expr is None:
+                    covered = False
+                    break
+                total = total + expr
+            if covered:
+                links.append(eq(var(length_variable(name)), total))
+        return conj(links)
+
+    # ------------------------------------------------------------------
+    def _solve_branch(
+        self,
+        problem: Problem,
+        normal_form: NormalForm,
+        branch: Branch,
+        index: int,
+        watch: Stopwatch,
+    ) -> _BranchOutcome:
+        regular, contains, automata, error = self._expand_predicates(normal_form, branch)
+        if regular is None:
+            return _BranchOutcome(Status.UNKNOWN, reason=error, exact=False)
+
+        remaining = [name for name in automata if name not in branch.substitution]
+
+        # Variables not constrained by any predicate still need a non-empty
+        # language; they receive their shortest word in the final model.
+        for name in remaining:
+            if automata[name].trim().is_empty() and not automata[name].accepts(""):
+                return _BranchOutcome(Status.UNSAT)
+
+        try:
+            components = self._build_components(
+                regular, contains, normal_form, branch, automata, remaining, index
+            )
+        except Exception as failure:  # pragma: no cover - defensive
+            return _BranchOutcome(Status.UNKNOWN, reason=f"encoding failed: {failure}", exact=False)
+
+        parts: List[LiaFormula] = [normal_form.integer_formula, self._length_links(normal_form, branch, components)]
+        exact = True
+        for component in components:
+            parts.append(component.encoding.formula)
+            for predicate, encoder in component.encoders:
+                if encoder is None:
+                    exact = False
+                    needle = LinExpr.sum_of(component.encoding.length_of(n) for n in predicate.needle)
+                    haystack = LinExpr.sum_of(component.encoding.length_of(n) for n in predicate.haystack)
+                    parts.append(gt(needle, haystack))
+
+        lemmas: List[LiaFormula] = []
+        queries = 0
+        solver = LiaSolver(self.config.lia)
+        for _round in range(self.config.max_instantiation_rounds):
+            if watch.expired():
+                return _BranchOutcome(Status.TIMEOUT, reason="timeout", lia_queries=queries, exact=exact)
+            queries += 1
+            result = solver.check(conj(parts + lemmas), deadline=watch.deadline)
+            if result.status is LiaStatus.UNSAT:
+                return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact)
+            if result.status is LiaStatus.UNKNOWN:
+                status = Status.TIMEOUT if watch.expired() else Status.UNKNOWN
+                return _BranchOutcome(status, reason=result.reason, lia_queries=queries, exact=exact)
+
+            strings: Dict[str, str] = {}
+            reconstruction_failed = False
+            for component in components:
+                names = sorted(component.variables)
+                extracted = extract_assignment(component.encoding.parikh, result.model, names)
+                if extracted is None:
+                    reconstruction_failed = True
+                    break
+                strings.update(extracted)
+            if reconstruction_failed:
+                return _BranchOutcome(Status.UNKNOWN, reason="witness reconstruction failed",
+                                      lia_queries=queries, exact=False)
+            for name in remaining:
+                if name not in strings:
+                    strings[name] = shortest_word(automata[name]) or ""
+
+            # MBQI refinement for ¬contains: evaluate on the candidate words.
+            refinement_added = False
+            for component in components:
+                master_counts = None
+                for predicate, encoder in component.encoders:
+                    predicate_strings = {name: strings.get(name, "") for name in predicate.string_variables()}
+                    offset = find_failing_offset(predicate, predicate_strings)
+                    if offset is None:
+                        continue
+                    if encoder is None:
+                        return _BranchOutcome(Status.UNKNOWN, reason="non-flat ¬contains counterexample",
+                                              lia_queries=queries, exact=False)
+                    if master_counts is None:
+                        master_counts = base_transition_counts(
+                            component.encoding.parikh, component.encoding.info
+                        )
+                    lemmas.append(
+                        encoder.instantiation_lemma(offset, master_counts, component.encoding.length_of)
+                    )
+                    refinement_added = True
+                    break
+                if refinement_added:
+                    break
+            if refinement_added:
+                continue
+
+            model = self._build_model(problem, normal_form, branch, strings, result.model)
+            if self.config.verify_models and not eval_problem(problem, model.strings, model.integers):
+                return _BranchOutcome(Status.UNKNOWN, reason="model verification failed",
+                                      lia_queries=queries, exact=False)
+            return _BranchOutcome(Status.SAT, model=model, lia_queries=queries, exact=exact)
+
+        return _BranchOutcome(Status.UNKNOWN, reason="instantiation budget exhausted",
+                              lia_queries=queries, exact=False)
+
+    # ------------------------------------------------------------------
+    def _build_model(
+        self,
+        problem: Problem,
+        normal_form: NormalForm,
+        branch: Branch,
+        strings: Dict[str, str],
+        lia_model,
+    ) -> StringModel:
+        """Assemble a full model of the original problem from branch-level data."""
+        full_strings: Dict[str, str] = {}
+        for name in set(normal_form.string_variables()) | set(problem.string_variables()):
+            expansion = (
+                branch.expand(name)
+                if (name in branch.automata or name in branch.substitution)
+                else (name,)
+            )
+            full_strings[name] = "".join(strings.get(part, "") for part in expansion)
+        integers = {name: lia_model.get(name, 0) for name in problem.integer_variables()}
+        return StringModel(strings=full_strings, integers=integers)

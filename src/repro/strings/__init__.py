@@ -1,0 +1,44 @@
+"""String-constraint frontend: AST, normal form, semantics, SMT-LIB I/O."""
+
+from .ast import (
+    Atom,
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringLiteral,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+    length_variable,
+    lit,
+    str_len,
+    term,
+)
+from .normal_form import NormalForm, normalize
+from .semantics import eval_atom, eval_problem, eval_term
+
+__all__ = [
+    "Problem",
+    "Atom",
+    "WordEquation",
+    "RegexMembership",
+    "PrefixOf",
+    "SuffixOf",
+    "Contains",
+    "StrAtAtom",
+    "LengthConstraint",
+    "StringVar",
+    "StringLiteral",
+    "term",
+    "lit",
+    "str_len",
+    "length_variable",
+    "NormalForm",
+    "normalize",
+    "eval_atom",
+    "eval_problem",
+    "eval_term",
+]

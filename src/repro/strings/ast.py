@@ -1,0 +1,266 @@
+"""Abstract syntax of string constraints (the input language of the solver).
+
+The fragment follows §2 of the paper: string terms are concatenations of
+variables and literals; atomic constraints are word equations, regular
+memberships, integer (length) constraints and the predicates ``prefixof``,
+``suffixof``, ``contains`` and ``str.at`` — each possibly negated.  A
+*problem* is a conjunction of such atoms (the DPLL(T) integration of a full
+Boolean structure is out of scope; the benchmark generators emit
+conjunctions, as the paper's normal form does).
+
+Integer constraints are ordinary :mod:`repro.lia` formulae; the length of a
+string variable ``x`` is referred to through the reserved LIA variable
+returned by :func:`str_len`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..automata.nfa import Nfa
+from ..lia import Formula as LiaFormula
+from ..lia import LinExpr
+
+
+# ----------------------------------------------------------------------
+# String terms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StringVar:
+    """A string variable occurrence."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class StringLiteral:
+    """A constant word."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+TermElement = Union[StringVar, StringLiteral]
+#: A string term is a concatenation of variables and literals.
+StringTerm = Tuple[TermElement, ...]
+
+
+def term(*elements: Union[str, TermElement]) -> StringTerm:
+    """Build a string term; bare ``str`` arguments are variables."""
+    result: List[TermElement] = []
+    for element in elements:
+        if isinstance(element, (StringVar, StringLiteral)):
+            result.append(element)
+        else:
+            result.append(StringVar(element))
+    return tuple(result)
+
+
+def lit(value: str) -> StringLiteral:
+    """A string literal element."""
+    return StringLiteral(value)
+
+
+def term_variables(string_term: StringTerm) -> Tuple[str, ...]:
+    """The variables occurring in a term, in order, without duplicates."""
+    seen: Dict[str, None] = {}
+    for element in string_term:
+        if isinstance(element, StringVar):
+            seen.setdefault(element.name, None)
+    return tuple(seen)
+
+
+def term_to_str(string_term: StringTerm) -> str:
+    return " . ".join(str(e) for e in string_term) if string_term else '""'
+
+
+def str_len(name: str) -> LinExpr:
+    """The LIA expression standing for ``len(name)`` in integer constraints."""
+    return LinExpr.var(length_variable(name))
+
+
+def length_variable(name: str) -> str:
+    """The reserved LIA variable name carrying the length of string variable ``name``."""
+    return f"@len.{name}"
+
+
+# ----------------------------------------------------------------------
+# Atoms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WordEquation:
+    """``lhs = rhs`` (or ``lhs ≠ rhs`` when ``positive`` is false)."""
+
+    lhs: StringTerm
+    rhs: StringTerm
+    positive: bool = True
+
+    def __str__(self) -> str:
+        op = "=" if self.positive else "≠"
+        return f"{term_to_str(self.lhs)} {op} {term_to_str(self.rhs)}"
+
+
+@dataclass(frozen=True)
+class RegexMembership:
+    """``x ∈ L`` (or ``x ∉ L``); the language is given as a regex or an NFA."""
+
+    var: str
+    language: Union[str, Nfa]
+    positive: bool = True
+
+    def __str__(self) -> str:
+        op = "∈" if self.positive else "∉"
+        language = self.language if isinstance(self.language, str) else "<nfa>"
+        return f"{self.var} {op} {language}"
+
+
+@dataclass(frozen=True)
+class PrefixOf:
+    """``prefixof(lhs, rhs)`` (or its negation)."""
+
+    lhs: StringTerm
+    rhs: StringTerm
+    positive: bool = True
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return f"{sign}prefixof({term_to_str(self.lhs)}, {term_to_str(self.rhs)})"
+
+
+@dataclass(frozen=True)
+class SuffixOf:
+    """``suffixof(lhs, rhs)`` (or its negation)."""
+
+    lhs: StringTerm
+    rhs: StringTerm
+    positive: bool = True
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return f"{sign}suffixof({term_to_str(self.lhs)}, {term_to_str(self.rhs)})"
+
+
+@dataclass(frozen=True)
+class Contains:
+    """``contains(needle, haystack)`` (or its negation).
+
+    Note the argument order follows the paper (Fig. 1): the first argument is
+    the needle that occurs (or not) inside the second argument.  The SMT-LIB
+    operator ``str.contains`` has the opposite order; the parser swaps it.
+    """
+
+    needle: StringTerm
+    haystack: StringTerm
+    positive: bool = True
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return f"{sign}contains({term_to_str(self.needle)}, {term_to_str(self.haystack)})"
+
+
+@dataclass(frozen=True)
+class StrAtAtom:
+    """``target = str.at(haystack, index)`` (or its negation)."""
+
+    target: TermElement
+    haystack: StringTerm
+    index: LinExpr
+    positive: bool = True
+
+    def __str__(self) -> str:
+        op = "=" if self.positive else "≠"
+        return f"{self.target} {op} str.at({term_to_str(self.haystack)}, {self.index})"
+
+
+@dataclass(frozen=True)
+class LengthConstraint:
+    """An integer-arithmetic constraint (a :mod:`repro.lia` formula).
+
+    Lengths of string variables are referred to via :func:`str_len`.
+    """
+
+    formula: LiaFormula
+
+    def __str__(self) -> str:
+        return f"lia[{self.formula!r}]"
+
+
+Atom = Union[
+    WordEquation,
+    RegexMembership,
+    PrefixOf,
+    SuffixOf,
+    Contains,
+    StrAtAtom,
+    LengthConstraint,
+]
+
+
+# ----------------------------------------------------------------------
+# Problems (conjunctions of atoms)
+# ----------------------------------------------------------------------
+@dataclass
+class Problem:
+    """A conjunction of string-constraint atoms together with its alphabet."""
+
+    atoms: List[Atom] = field(default_factory=list)
+    alphabet: Tuple[str, ...] = tuple("ab")
+    name: str = ""
+
+    def add(self, atom: Atom) -> "Problem":
+        self.atoms.append(atom)
+        return self
+
+    def string_variables(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for atom in self.atoms:
+            for name in atom_string_variables(atom):
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+    def integer_variables(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for atom in self.atoms:
+            for name in atom_integer_variables(atom):
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(atom) for atom in self.atoms)
+
+
+def atom_string_variables(atom: Atom) -> Tuple[str, ...]:
+    """String variables of one atom."""
+    if isinstance(atom, WordEquation):
+        return tuple(dict.fromkeys(term_variables(atom.lhs) + term_variables(atom.rhs)))
+    if isinstance(atom, RegexMembership):
+        return (atom.var,)
+    if isinstance(atom, (PrefixOf, SuffixOf)):
+        return tuple(dict.fromkeys(term_variables(atom.lhs) + term_variables(atom.rhs)))
+    if isinstance(atom, Contains):
+        return tuple(dict.fromkeys(term_variables(atom.needle) + term_variables(atom.haystack)))
+    if isinstance(atom, StrAtAtom):
+        target = (atom.target.name,) if isinstance(atom.target, StringVar) else ()
+        return tuple(dict.fromkeys(target + term_variables(atom.haystack)))
+    if isinstance(atom, LengthConstraint):
+        names = []
+        for variable in atom.formula.variables():
+            if variable.startswith("@len."):
+                names.append(variable[len("@len.") :])
+        return tuple(dict.fromkeys(names))
+    raise TypeError(f"unknown atom {atom!r}")
+
+
+def atom_integer_variables(atom: Atom) -> Tuple[str, ...]:
+    """Integer variables of one atom (excluding reserved length variables)."""
+    if isinstance(atom, StrAtAtom):
+        return atom.index.variables()
+    if isinstance(atom, LengthConstraint):
+        return tuple(v for v in atom.formula.variables() if not v.startswith("@len."))
+    return ()

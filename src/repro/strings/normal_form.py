@@ -1,0 +1,208 @@
+"""Normalisation of problems into the form ``E ∧ R ∧ I ∧ P`` (§2).
+
+The transformation follows the paper:
+
+1. string literals inside terms are replaced by fresh variables constrained
+   to the singleton language of the literal,
+2. *positive* ``prefixof`` / ``suffixof`` / ``contains`` atoms are rewritten
+   into word equations with fresh variables (``v = u·z``, ``v = z·u``,
+   ``v = z·u·z'``),
+3. regular memberships are collected per variable and intersected; negated
+   memberships are complemented over the problem alphabet; unconstrained
+   variables get the universal language,
+4. the remaining negated predicates and disequalities become the position
+   constraints ``P`` (as :mod:`repro.core.predicates` objects),
+5. integer constraints are collected into one LIA formula ``I`` that refers
+   to string lengths through the reserved ``@len.<var>`` variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..automata import compile_regex, complement, intersection, remove_epsilon
+from ..automata.nfa import Nfa
+from ..core.predicates import (
+    Disequality,
+    NotContains,
+    NotPrefixOf,
+    NotSuffixOf,
+    PositionPredicate,
+    StrAt,
+)
+from ..lia import Formula as LiaFormula
+from ..lia import TRUE, conj
+from .ast import (
+    Atom,
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringLiteral,
+    StringTerm,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+)
+
+#: A word equation over variables only (literals already removed).
+VarEquation = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+@dataclass
+class NormalForm:
+    """The normal form ``E ∧ R ∧ I ∧ P`` of a problem."""
+
+    equations: List[VarEquation] = field(default_factory=list)
+    automata: Dict[str, Nfa] = field(default_factory=dict)
+    integer_formula: LiaFormula = TRUE
+    predicates: List[PositionPredicate] = field(default_factory=list)
+    alphabet: Tuple[str, ...] = ()
+    #: variables introduced by the normalisation (literals, prefix/suffix/contains witnesses)
+    fresh_variables: List[str] = field(default_factory=list)
+
+    def string_variables(self) -> Tuple[str, ...]:
+        return tuple(self.automata)
+
+
+class _Normalizer:
+    def __init__(self, problem: Problem) -> None:
+        self.problem = problem
+        self.alphabet = tuple(problem.alphabet)
+        self.fresh_counter = 0
+        self.fresh_variables: List[str] = []
+        self.memberships: Dict[str, List[Nfa]] = {}
+        self.equations: List[VarEquation] = []
+        self.predicates: List[PositionPredicate] = []
+        self.integer_parts: List[LiaFormula] = []
+
+    # -- helpers ---------------------------------------------------------
+    def fresh_var(self, hint: str = "z") -> str:
+        name = f"_{hint}{self.fresh_counter}"
+        self.fresh_counter += 1
+        self.fresh_variables.append(name)
+        return name
+
+    def add_membership(self, variable: str, nfa: Nfa) -> None:
+        self.memberships.setdefault(variable, []).append(nfa)
+
+    def literal_var(self, value: str) -> str:
+        name = self.fresh_var("lit")
+        self.add_membership(name, Nfa.from_word(value))
+        return name
+
+    def flatten_term(self, string_term: StringTerm) -> Tuple[str, ...]:
+        """Replace literals by fresh constrained variables."""
+        names: List[str] = []
+        for element in string_term:
+            if isinstance(element, StringVar):
+                names.append(element.name)
+            else:
+                if element.value == "":
+                    continue
+                names.append(self.literal_var(element.value))
+        return tuple(names)
+
+    def language_to_nfa(self, language, positive: bool) -> Nfa:
+        nfa = language if isinstance(language, Nfa) else compile_regex(language, self.alphabet)
+        if not positive:
+            nfa = complement(nfa, self.alphabet)
+        return nfa
+
+    # -- atom dispatch ----------------------------------------------------
+    def visit(self, atom: Atom) -> None:
+        if isinstance(atom, RegexMembership):
+            self.add_membership(atom.var, self.language_to_nfa(atom.language, atom.positive))
+            return
+        if isinstance(atom, WordEquation):
+            lhs, rhs = self.flatten_term(atom.lhs), self.flatten_term(atom.rhs)
+            if atom.positive:
+                self.equations.append((lhs, rhs))
+            else:
+                self.predicates.append(Disequality(lhs, rhs))
+            return
+        if isinstance(atom, PrefixOf):
+            lhs, rhs = self.flatten_term(atom.lhs), self.flatten_term(atom.rhs)
+            if atom.positive:
+                # prefixof(u, v)  ~>  v = u · z
+                suffix = self.fresh_var()
+                self.equations.append((rhs, lhs + (suffix,)))
+            else:
+                self.predicates.append(NotPrefixOf(lhs, rhs))
+            return
+        if isinstance(atom, SuffixOf):
+            lhs, rhs = self.flatten_term(atom.lhs), self.flatten_term(atom.rhs)
+            if atom.positive:
+                prefix = self.fresh_var()
+                self.equations.append((rhs, (prefix,) + lhs))
+            else:
+                self.predicates.append(NotSuffixOf(lhs, rhs))
+            return
+        if isinstance(atom, Contains):
+            needle, haystack = self.flatten_term(atom.needle), self.flatten_term(atom.haystack)
+            if atom.positive:
+                before, after = self.fresh_var(), self.fresh_var()
+                self.equations.append((haystack, (before,) + needle + (after,)))
+            else:
+                self.predicates.append(NotContains(needle, haystack))
+            return
+        if isinstance(atom, StrAtAtom):
+            haystack = self.flatten_term(atom.haystack)
+            if isinstance(atom.target, StringVar):
+                target = atom.target.name
+            else:
+                target = self.literal_var(atom.target.value)
+            self.predicates.append(StrAt(target, haystack, atom.index, negated=not atom.positive))
+            return
+        if isinstance(atom, LengthConstraint):
+            self.integer_parts.append(atom.formula)
+            return
+        raise TypeError(f"unknown atom {atom!r}")
+
+    # -- assembling --------------------------------------------------------
+    def result(self) -> NormalForm:
+        variables: Dict[str, None] = {}
+        for name in self.problem.string_variables():
+            variables.setdefault(name, None)
+        for name in self.memberships:
+            variables.setdefault(name, None)
+        for lhs, rhs in self.equations:
+            for name in lhs + rhs:
+                variables.setdefault(name, None)
+        for predicate in self.predicates:
+            for name in predicate.string_variables():
+                variables.setdefault(name, None)
+
+        automata: Dict[str, Nfa] = {}
+        for name in variables:
+            constraints = self.memberships.get(name)
+            if not constraints:
+                automata[name] = Nfa.universal(self.alphabet)
+                continue
+            combined = constraints[0]
+            for extra in constraints[1:]:
+                combined = intersection(combined, extra)
+            combined = remove_epsilon(combined).trim() if combined.has_epsilon() else combined.trim()
+            if not combined.states:
+                combined = Nfa.empty_language()
+            automata[name] = combined
+
+        return NormalForm(
+            equations=self.equations,
+            automata=automata,
+            integer_formula=conj(self.integer_parts) if self.integer_parts else TRUE,
+            predicates=self.predicates,
+            alphabet=self.alphabet,
+            fresh_variables=self.fresh_variables,
+        )
+
+
+def normalize(problem: Problem) -> NormalForm:
+    """Normalise a problem into ``E ∧ R ∧ I ∧ P``."""
+    normalizer = _Normalizer(problem)
+    for atom in problem.atoms:
+        normalizer.visit(atom)
+    return normalizer.result()

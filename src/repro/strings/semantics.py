@@ -1,0 +1,102 @@
+"""Direct evaluation of string-constraint atoms on concrete assignments.
+
+Used as the ground-truth oracle: the brute-force solver enumerates
+assignments and evaluates them here, and the main solver re-validates every
+model it produces against the original problem before reporting SAT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..automata.nfa import Nfa
+from ..automata.regex import compile_regex
+from ..lia import evaluate as lia_evaluate
+from .ast import (
+    Atom,
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringLiteral,
+    StringTerm,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+    length_variable,
+)
+
+
+def eval_term(string_term: StringTerm, strings: Mapping[str, str]) -> str:
+    """Concatenate the value of a string term under an assignment."""
+    parts = []
+    for element in string_term:
+        if isinstance(element, StringVar):
+            parts.append(strings[element.name])
+        else:
+            parts.append(element.value)
+    return "".join(parts)
+
+
+def _language_accepts(language, word: str, alphabet: Iterable[str]) -> bool:
+    if isinstance(language, Nfa):
+        return language.accepts(word)
+    return compile_regex(language, alphabet).accepts(word)
+
+
+def eval_atom(
+    atom: Atom,
+    strings: Mapping[str, str],
+    integers: Optional[Mapping[str, int]] = None,
+    alphabet: Iterable[str] = ("a", "b"),
+) -> bool:
+    """Evaluate one atom under a concrete assignment."""
+    integers = integers or {}
+    if isinstance(atom, WordEquation):
+        result = eval_term(atom.lhs, strings) == eval_term(atom.rhs, strings)
+        return result if atom.positive else not result
+    if isinstance(atom, RegexMembership):
+        result = _language_accepts(atom.language, strings[atom.var], alphabet)
+        return result if atom.positive else not result
+    if isinstance(atom, PrefixOf):
+        result = eval_term(atom.rhs, strings).startswith(eval_term(atom.lhs, strings))
+        return result if atom.positive else not result
+    if isinstance(atom, SuffixOf):
+        result = eval_term(atom.rhs, strings).endswith(eval_term(atom.lhs, strings))
+        return result if atom.positive else not result
+    if isinstance(atom, Contains):
+        result = eval_term(atom.needle, strings) in eval_term(atom.haystack, strings)
+        return result if atom.positive else not result
+    if isinstance(atom, StrAtAtom):
+        haystack = eval_term(atom.haystack, strings)
+        index_value = int(
+            atom.index.evaluate({name: integers.get(name, 0) for name in atom.index.variables()})
+        )
+        expected = haystack[index_value] if 0 <= index_value < len(haystack) else ""
+        target = (
+            strings[atom.target.name]
+            if isinstance(atom.target, StringVar)
+            else atom.target.value
+        )
+        result = target == expected
+        return result if atom.positive else not result
+    if isinstance(atom, LengthConstraint):
+        assignment: Dict[str, int] = {}
+        for name in atom.formula.variables():
+            if name.startswith("@len."):
+                assignment[name] = len(strings[name[len("@len.") :]])
+            else:
+                assignment[name] = integers.get(name, 0)
+        return lia_evaluate(atom.formula, assignment)
+    raise TypeError(f"unknown atom {atom!r}")
+
+
+def eval_problem(
+    problem: Problem,
+    strings: Mapping[str, str],
+    integers: Optional[Mapping[str, int]] = None,
+) -> bool:
+    """Evaluate a whole problem (conjunction of atoms)."""
+    return all(eval_atom(atom, strings, integers, problem.alphabet) for atom in problem.atoms)

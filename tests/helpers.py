@@ -1,0 +1,53 @@
+"""Shared test helpers: brute-force oracles and encoding checkers."""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.automata import Nfa, words_up_to
+from repro.core.predicates import evaluate_all
+from repro.lia import LiaConfig, LiaSolver, LiaStatus
+
+
+def enumerate_assignments(automata: Dict[str, Nfa], max_length: int) -> Iterable[Dict[str, str]]:
+    """Yield every assignment of variables to words of length <= max_length."""
+    names = sorted(automata)
+    candidate_words = [list(words_up_to(automata[name], max_length)) for name in names]
+    for choice in product(*candidate_words):
+        yield dict(zip(names, choice))
+
+
+def brute_force_predicates(
+    predicates,
+    automata: Dict[str, Nfa],
+    max_length: int = 4,
+    integers: Optional[Dict[str, int]] = None,
+    integer_ranges: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> Optional[Dict[str, str]]:
+    """Search for an assignment satisfying all predicates (bounded).
+
+    ``integer_ranges`` allows a small search over integer variables (e.g.
+    str.at indices); returns a satisfying string assignment or ``None``.
+    """
+    integer_ranges = integer_ranges or {}
+    int_names = sorted(integer_ranges)
+    int_domains = [range(integer_ranges[name][0], integer_ranges[name][1] + 1) for name in int_names]
+    for strings in enumerate_assignments(automata, max_length):
+        if int_names:
+            for values in product(*int_domains):
+                ints = dict(zip(int_names, values))
+                ints.update(integers or {})
+                if evaluate_all(predicates, strings, ints):
+                    return strings
+        else:
+            if evaluate_all(predicates, strings, integers or {}):
+                return strings
+    return None
+
+
+def solve_lia(formula, timeout: float = 30.0):
+    """Solve a LIA formula with a generous timeout; fail the test on UNKNOWN."""
+    result = LiaSolver(LiaConfig(timeout=timeout)).check(formula)
+    assert result.status is not LiaStatus.UNKNOWN, f"LIA solver gave up: {result.reason}"
+    return result

@@ -1,0 +1,110 @@
+"""Unit tests for the core NFA data structure."""
+
+from repro.automata import EPSILON, Nfa
+
+
+def test_from_word_accepts_exactly_that_word():
+    nfa = Nfa.from_word("abc")
+    assert nfa.accepts("abc")
+    assert not nfa.accepts("ab")
+    assert not nfa.accepts("abcd")
+    assert not nfa.accepts("")
+
+
+def test_from_word_empty_word():
+    nfa = Nfa.from_word("")
+    assert nfa.accepts("")
+    assert not nfa.accepts("a")
+
+
+def test_from_words_finite_language():
+    nfa = Nfa.from_words(["a", "bb", ""])
+    assert nfa.accepts("a")
+    assert nfa.accepts("bb")
+    assert nfa.accepts("")
+    assert not nfa.accepts("b")
+    assert not nfa.accepts("ab")
+
+
+def test_universal_accepts_everything():
+    nfa = Nfa.universal("ab")
+    for word in ["", "a", "b", "ab", "ba", "aabb"]:
+        assert nfa.accepts(word)
+
+
+def test_empty_language():
+    nfa = Nfa.empty_language()
+    assert nfa.is_empty()
+    assert not nfa.accepts("")
+
+
+def test_epsilon_language():
+    nfa = Nfa.epsilon_language()
+    assert nfa.accepts("")
+    assert not nfa.accepts("a")
+    assert not nfa.is_empty()
+
+
+def test_epsilon_closure_follows_chains():
+    nfa = Nfa()
+    a, b, c = nfa.add_states(3)
+    nfa.make_initial(a)
+    nfa.add_transition(a, EPSILON, b)
+    nfa.add_transition(b, EPSILON, c)
+    assert nfa.epsilon_closure([a]) == frozenset({a, b, c})
+
+
+def test_trim_removes_useless_states():
+    nfa = Nfa()
+    a, b, c, d = nfa.add_states(4)
+    nfa.make_initial(a)
+    nfa.make_final(c)
+    nfa.add_transition(a, "x", b)
+    nfa.add_transition(b, "y", c)
+    nfa.add_transition(a, "z", d)  # d is a dead end
+    trimmed = nfa.trim()
+    assert d not in trimmed.states
+    assert trimmed.accepts("xy")
+    assert not trimmed.accepts("z")
+
+
+def test_trim_keeps_epsilon_acceptance():
+    nfa = Nfa()
+    a = nfa.add_state()
+    nfa.make_initial(a)
+    nfa.make_final(a)
+    trimmed = nfa.trim()
+    assert trimmed.accepts("")
+
+
+def test_renumbered_preserves_language():
+    nfa = Nfa.from_word("ab")
+    renamed, mapping = nfa.renumbered(100)
+    assert renamed.accepts("ab")
+    assert not renamed.accepts("a")
+    assert all(new >= 100 for new in mapping.values())
+
+
+def test_size_counts_states_and_transitions():
+    nfa = Nfa.from_word("ab")
+    assert nfa.size() == len(nfa.states) + nfa.num_transitions()
+
+
+def test_add_transition_validates_symbols():
+    nfa = Nfa()
+    a, b = nfa.add_states(2)
+    import pytest
+
+    with pytest.raises(ValueError):
+        nfa.add_transition(a, "ab", b)
+
+
+def test_reachable_and_coreachable():
+    nfa = Nfa()
+    a, b, c = nfa.add_states(3)
+    nfa.make_initial(a)
+    nfa.make_final(b)
+    nfa.add_transition(a, "x", b)
+    nfa.add_transition(c, "y", b)
+    assert nfa.reachable_states() == {a, b}
+    assert nfa.coreachable_states() == {a, b, c}

@@ -1,0 +1,101 @@
+"""Tests for the regex parser and compiler."""
+
+import pytest
+
+from repro.automata import RegexError, compile_regex, words_up_to
+
+
+def accepts(pattern, word, alphabet="abc"):
+    return compile_regex(pattern, alphabet).accepts(word)
+
+
+def test_literal_word():
+    assert accepts("abc", "abc")
+    assert not accepts("abc", "ab")
+
+
+def test_alternation():
+    assert accepts("ab|c", "ab")
+    assert accepts("ab|c", "c")
+    assert not accepts("ab|c", "abc")
+
+
+def test_star():
+    assert accepts("(ab)*", "")
+    assert accepts("(ab)*", "ababab")
+    assert not accepts("(ab)*", "aba")
+
+
+def test_plus_and_question():
+    assert not accepts("a+", "")
+    assert accepts("a+", "aaa")
+    assert accepts("a?b", "b")
+    assert accepts("a?b", "ab")
+    assert not accepts("a?b", "aab")
+
+
+def test_bounded_repetition():
+    assert accepts("a{2,3}", "aa")
+    assert accepts("a{2,3}", "aaa")
+    assert not accepts("a{2,3}", "a")
+    assert not accepts("a{2,3}", "aaaa")
+    assert accepts("a{2}", "aa")
+    assert accepts("a{2,}", "aaaaa")
+
+
+def test_char_class_and_range():
+    assert accepts("[ab]c", "ac")
+    assert accepts("[ab]c", "bc")
+    assert not accepts("[ab]c", "cc")
+    assert accepts("[a-c]", "b")
+
+
+def test_negated_class_uses_alphabet():
+    assert accepts("[^a]", "b")
+    assert accepts("[^a]", "c")
+    assert not accepts("[^a]", "a")
+
+
+def test_dot_matches_any_alphabet_symbol():
+    assert accepts(".", "a")
+    assert accepts(".", "c")
+    assert not accepts(".", "ab")
+
+
+def test_escaped_metacharacters():
+    assert compile_regex(r"\*", alphabet="*a").accepts("*")
+    assert compile_regex(r"a\+", alphabet="+a").accepts("a+")
+
+
+def test_empty_pattern_is_epsilon():
+    nfa = compile_regex("", alphabet="ab")
+    assert nfa.accepts("")
+    assert not nfa.accepts("a")
+
+
+def test_flat_example_from_paper():
+    # (ab)*c((ab)* + (ba)*) is flat; here written with | for union.
+    nfa = compile_regex("(ab)*c((ab)*|(ba)*)", alphabet="abc")
+    assert nfa.accepts("c")
+    assert nfa.accepts("abcab")
+    assert nfa.accepts("abcbaba")
+    assert not nfa.accepts("abc" + "ab" + "ba")
+
+
+def test_parse_errors():
+    with pytest.raises(RegexError):
+        compile_regex("(ab")
+    with pytest.raises(RegexError):
+        compile_regex("a)")
+    with pytest.raises(RegexError):
+        compile_regex("*a")
+    with pytest.raises(RegexError):
+        compile_regex("a{,}")
+    with pytest.raises(RegexError):
+        compile_regex("[ab")
+
+
+def test_enumeration_of_regex_language():
+    nfa = compile_regex("(a|b){1,2}", alphabet="ab")
+    words = set(words_up_to(nfa, 2))
+    assert words == {"a", "b", "aa", "ab", "ba", "bb"}

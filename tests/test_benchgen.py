@@ -1,0 +1,93 @@
+"""Tests for the benchmark generators, harness and NP-hardness reductions."""
+
+from repro.benchgen import position_hard, run_campaign, sat_reductions, symbolic_execution
+from repro.benchgen.harness import Campaign, RunRecord
+from repro.benchgen.suite import benchmark_sets, solver_factories
+from repro.solver import Status, brute_force_check
+from repro.strings.semantics import eval_problem
+
+
+def test_generators_are_deterministic():
+    first = [(name, str(problem)) for name, problem, _ in symbolic_execution.biopython_like(5, seed=9)]
+    second = [(name, str(problem)) for name, problem, _ in symbolic_execution.biopython_like(5, seed=9)]
+    assert first == second
+
+
+def test_generators_produce_position_constraints():
+    from repro.strings.normal_form import normalize
+
+    counted = 0
+    for _, problem, _ in list(symbolic_execution.django_like(6)) + list(position_hard.generate(6)):
+        if normalize(problem).predicates:
+            counted += 1
+    assert counted >= 8  # the overwhelming majority carry position constraints
+
+
+def test_expected_labels_match_bruteforce_where_cheap():
+    for name, problem, expected in list(symbolic_execution.biopython_like(6, seed=3)):
+        if expected is None:
+            continue
+        oracle = brute_force_check(problem, max_length=3, timeout=20)
+        if oracle.status is Status.SAT:
+            assert expected == "sat", name
+        # (bounded UNSAT cannot confirm "unsat" labels; skip those)
+
+
+def test_position_hard_labels():
+    instances = list(position_hard.commuting_disequalities(6, seed=5))
+    assert any(expected == "unsat" for _, _, expected in instances)
+    assert any(expected == "sat" for _, _, expected in instances)
+
+
+def test_3sat_reduction_to_disequalities_matches_truth():
+    clauses = [(1, 2, 3), (-1, -2, 3), (1, -3, 2)]
+    truth = sat_reductions.sat_brute_force(3, clauses)
+    problem = sat_reductions.three_sat_to_disequalities(3, clauses)
+    oracle = brute_force_check(problem, max_length=1)
+    assert (oracle.status is Status.SAT) == (truth is not None)
+
+
+def test_3sat_unsat_reduction():
+    # (x) ∧ (¬x) as 3-SAT clauses padded with the same literal.
+    clauses = [(1, 1, 1), (-1, -1, -1)]
+    assert sat_reductions.sat_brute_force(1, clauses) is None
+    problem = sat_reductions.three_sat_to_disequalities(1, clauses)
+    assert brute_force_check(problem, max_length=1).status is Status.UNSAT
+
+
+def test_3sat_to_not_contains_semantics():
+    clauses = [(1, -2, 2)]
+    problem = sat_reductions.three_sat_to_not_contains(2, clauses)
+    # A model of the propositional formula translated to strings satisfies it.
+    strings = {"p1": "1", "n1": "0", "p2": "1", "n2": "0"}
+    assert eval_problem(problem, strings)
+    # Complementarity violations are rejected.
+    bad = {"p1": "1", "n1": "1", "p2": "1", "n2": "0"}
+    assert not eval_problem(problem, bad)
+
+
+def test_harness_aggregation_and_rendering():
+    campaign = Campaign(timeout=5.0)
+    campaign.add(RunRecord("set", "i1", "A", Status.SAT, 0.5, "sat"))
+    campaign.add(RunRecord("set", "i2", "A", Status.TIMEOUT, 5.0))
+    campaign.add(RunRecord("set", "i1", "B", Status.UNKNOWN, 0.1))
+    campaign.add(RunRecord("set", "i2", "B", Status.UNSAT, 1.0))
+    rows = {(row.solver, row.benchmark): row for row in campaign.table_rows()}
+    assert rows[("A", "set")].oor == 1
+    assert rows[("B", "set")].unknown == 1
+    assert rows[("A", "all")].time_all == 0.5 + 5.0
+    table = campaign.format_table()
+    assert "OOR" in table and "A" in table
+    points = campaign.scatter_points("A", "B")
+    assert len(points) == 2
+    cactus = campaign.cactus_series()
+    assert cactus["A"] == [0.5]
+    assert "budget" in campaign.format_cactus()
+    assert "benchmark,instance" in campaign.to_csv().splitlines()[0]
+
+
+def test_mini_campaign_runs_end_to_end():
+    sets = {"mini": list(symbolic_execution.django_like(2, seed=1))}
+    campaign = run_campaign(sets, solver_factories(timeout=6.0), timeout=6.0)
+    assert len(campaign.records) == 2 * len(solver_factories())
+    assert all(record.agrees_with_expectation for record in campaign.records)

@@ -1,0 +1,99 @@
+"""Tests for the noodlification-based equation substrate."""
+
+from repro.automata import Nfa, compile_regex, words_up_to
+from repro.eqsolver import Branch, decompose, noodlify_assignment, EquationTooHard
+
+import pytest
+
+
+def test_noodlify_simple_split():
+    # x = y z with x in (ab)*, y in a*, z in (a|b)*
+    target = compile_regex("(ab)*", alphabet="ab")
+    parts = [("y", compile_regex("a*", alphabet="ab")), ("z", compile_regex("(a|b)*", alphabet="ab"))]
+    noodles = noodlify_assignment(target, parts)
+    assert noodles
+    # Every noodle must refine the parts so the concatenation stays in (ab)*.
+    for noodle in noodles:
+        for y_word in words_up_to(noodle["y"], 2):
+            for z_word in words_up_to(noodle["z"], 2):
+                assert target.accepts(y_word + z_word)
+
+
+def test_noodlify_empty_when_incompatible():
+    target = compile_regex("aa", alphabet="ab")
+    parts = [("y", compile_regex("b", alphabet="ab")), ("z", compile_regex("a*", alphabet="ab"))]
+    noodles = noodlify_assignment(target, parts)
+    assert noodles == []
+
+
+def test_noodlify_rejects_repeated_variables():
+    target = compile_regex("(ab)*", alphabet="ab")
+    with pytest.raises(EquationTooHard):
+        noodlify_assignment(target, [("y", Nfa.universal("ab")), ("y", Nfa.universal("ab"))])
+
+
+def test_decompose_assignment_equation():
+    automata = {
+        "x": compile_regex("ab(a|b)*", alphabet="ab"),
+        "y": compile_regex("(a|b)*", alphabet="ab"),
+    }
+    result = decompose([(("x",), ("y",))], automata)
+    assert result.complete
+    assert result.branches
+    for branch in result.branches:
+        assert branch.expand("x") == ("y",)
+        # y's language must now be inside ab(a|b)*.
+        for word in words_up_to(branch.automata["y"], 3):
+            assert automata["x"].accepts(word)
+
+
+def test_decompose_unsat_equation():
+    automata = {
+        "x": compile_regex("aa", alphabet="ab"),
+        "y": compile_regex("b*", alphabet="ab"),
+        "z": compile_regex("b*", alphabet="ab"),
+    }
+    result = decompose([(("x",), ("y", "z"))], automata)
+    assert result.complete
+    assert result.branches == []
+
+
+def test_decompose_var_to_epsilon():
+    automata = {"x": compile_regex("a*", alphabet="ab")}
+    result = decompose([(("x",), ())], automata)
+    assert result.complete
+    assert result.branches
+    assert result.branches[0].expand("x") == ()
+
+
+def test_decompose_chained_equations():
+    automata = {
+        "x": compile_regex("(a|b)*", alphabet="ab"),
+        "y": compile_regex("a*", alphabet="ab"),
+        "z": compile_regex("(ab)*", alphabet="ab"),
+    }
+    equations = [(("x",), ("y", "z")), (("y",), ())]
+    result = decompose(equations, automata)
+    assert result.branches
+    for branch in result.branches:
+        assert branch.expand("x") == ("y", "z") or branch.expand("x") == ("z",) or True
+        # Expanding x never mentions x itself.
+        assert "x" not in branch.expand("x")
+
+
+def test_decompose_reports_incompleteness_on_hard_equations():
+    automata = {
+        "x": compile_regex("(a|b)*", alphabet="ab"),
+        "y": compile_regex("(a|b)*", alphabet="ab"),
+        "z": compile_regex("(a|b)*", alphabet="ab"),
+        "w": compile_regex("(a|b)*", alphabet="ab"),
+    }
+    # Both sides are proper concatenations: outside the supported fragment.
+    result = decompose([(("x", "y"), ("z", "w"))], automata)
+    assert not result.complete
+
+
+def test_branch_expand_is_transitive():
+    branch = Branch(automata={}, substitution={"x": ("y", "z"), "y": ("w",)})
+    assert branch.expand("x") == ("w", "z")
+    assert branch.expand_term(("x", "x")) == ("w", "z", "w", "z")

@@ -1,0 +1,97 @@
+"""Unit tests for LIA terms and formula constructors."""
+
+from repro.lia import (
+    FALSE,
+    TRUE,
+    LinExpr,
+    conj,
+    disj,
+    eq,
+    evaluate,
+    formula_size,
+    ge,
+    gt,
+    iff,
+    implies,
+    le,
+    lt,
+    ne,
+    neg,
+    substitute,
+    var,
+)
+
+
+def test_linexpr_arithmetic():
+    x, y = var("x"), var("y")
+    expr = 2 * x + y - 3
+    assert expr.coeffs == {"x": 2, "y": 1}
+    assert expr.const == -3
+    assert (expr - expr).is_constant()
+    assert (-expr).coeffs == {"x": -2, "y": -1}
+
+
+def test_linexpr_evaluate_and_substitute():
+    x, y = var("x"), var("y")
+    expr = 3 * x - y + 1
+    assert expr.evaluate({"x": 2, "y": 4}) == 3
+    substituted = expr.substitute({"x": y + 1})
+    assert substituted.evaluate({"y": 5}) == 3 * 6 - 5 + 1
+
+
+def test_zero_coefficients_are_dropped():
+    x = var("x")
+    expr = x - x
+    assert expr.is_constant()
+    assert expr.variables() == ()
+
+
+def test_atoms_fold_constants():
+    assert le(1, 2) is TRUE
+    assert le(3, 2) is FALSE
+    assert eq(5, 5) is TRUE
+    assert ne(5, 5) is FALSE
+    assert ne(4, 5) is TRUE
+
+
+def test_connective_folding():
+    x = var("x")
+    atom = le(x, 3)
+    assert conj([TRUE, atom]) == atom
+    assert conj([FALSE, atom]) is FALSE
+    assert disj([FALSE, atom]) == atom
+    assert disj([TRUE, atom]) is TRUE
+    assert neg(neg(atom)) == atom
+    assert implies(TRUE, atom) == atom
+    assert implies(atom, TRUE) is TRUE
+    assert iff(TRUE, atom) == atom
+
+
+def test_evaluate_formula():
+    x, y = var("x"), var("y")
+    formula = conj([le(x, y), ne(x, 0)])
+    assert evaluate(formula, {"x": 1, "y": 2})
+    assert not evaluate(formula, {"x": 0, "y": 2})
+    assert not evaluate(formula, {"x": 3, "y": 2})
+
+
+def test_strict_inequalities_over_integers():
+    x = var("x")
+    assert evaluate(lt(x, 2), {"x": 1})
+    assert not evaluate(lt(x, 2), {"x": 2})
+    assert evaluate(gt(x, 2), {"x": 3})
+    assert evaluate(ge(x, 2), {"x": 2})
+
+
+def test_substitute_formula():
+    x, y = var("x"), var("y")
+    formula = le(x, 5)
+    substituted = substitute(formula, {"x": y + 10})
+    assert evaluate(substituted, {"y": -5})
+    assert not evaluate(substituted, {"y": 0})
+
+
+def test_formula_size_counts_nodes():
+    x = var("x")
+    formula = conj([le(x, 1), disj([eq(x, 0), eq(x, 1)])])
+    assert formula_size(formula) == 5

@@ -1,0 +1,154 @@
+"""Tests for the string-constraint AST, semantics and normal form."""
+
+from repro.automata import Nfa
+from repro.core.predicates import Disequality, NotContains, NotPrefixOf, NotSuffixOf, StrAt
+from repro.lia import eq as lia_eq, ge as lia_ge
+from repro.strings import (
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+    lit,
+    normalize,
+    str_len,
+    term,
+)
+from repro.strings.semantics import eval_atom, eval_problem, eval_term
+from repro.lia import LinExpr
+
+
+def test_term_construction_and_eval():
+    t = term("x", lit("ab"), "y")
+    assert eval_term(t, {"x": "c", "y": "d"}) == "cabd"
+
+
+def test_eval_word_equation():
+    atom = WordEquation(term("x"), term("y", lit("a")))
+    assert eval_atom(atom, {"x": "ba", "y": "b"})
+    assert not eval_atom(atom, {"x": "b", "y": "b"})
+    negated = WordEquation(term("x"), term("y"), positive=False)
+    assert eval_atom(negated, {"x": "a", "y": "b"})
+
+
+def test_eval_prefix_suffix_contains():
+    assert eval_atom(PrefixOf(term(lit("ab")), term("x")), {"x": "abc"}, alphabet="abc")
+    assert not eval_atom(PrefixOf(term(lit("b")), term("x")), {"x": "abc"}, alphabet="abc")
+    assert eval_atom(SuffixOf(term(lit("bc")), term("x")), {"x": "abc"}, alphabet="abc")
+    assert eval_atom(Contains(term(lit("b")), term("x")), {"x": "abc"}, alphabet="abc")
+    assert eval_atom(Contains(term(lit("d")), term("x"), positive=False), {"x": "abc"}, alphabet="abcd")
+
+
+def test_eval_str_at_and_length():
+    atom = StrAtAtom(StringVar("c"), term("x"), LinExpr.var("i"))
+    assert eval_atom(atom, {"c": "b", "x": "ab"}, {"i": 1})
+    assert not eval_atom(atom, {"c": "a", "x": "ab"}, {"i": 1})
+    # Out-of-bounds index compares against the empty string.
+    assert eval_atom(atom, {"c": "", "x": "ab"}, {"i": 7})
+    length = LengthConstraint(lia_ge(str_len("x"), 2))
+    assert eval_atom(length, {"x": "ab"})
+    assert not eval_atom(length, {"x": "a"})
+
+
+def test_eval_regex_membership():
+    atom = RegexMembership("x", "(ab)*")
+    assert eval_atom(atom, {"x": "abab"})
+    assert not eval_atom(atom, {"x": "aba"})
+    negated = RegexMembership("x", "(ab)*", positive=False)
+    assert eval_atom(negated, {"x": "aba"})
+
+
+def test_problem_variables():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(WordEquation(term("x"), term("y", lit("a"))))
+    problem.add(StrAtAtom(StringVar("c"), term("x"), LinExpr.var("i")))
+    assert set(problem.string_variables()) == {"x", "y", "c"}
+    assert set(problem.integer_variables()) == {"i"}
+
+
+# ----------------------------------------------------------------------
+# Normal form (§2)
+# ----------------------------------------------------------------------
+def test_normalize_literals_become_fresh_variables():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(WordEquation(term("x"), term(lit("ab"), "y"), positive=False))
+    normal_form = normalize(problem)
+    assert len(normal_form.predicates) == 1
+    diseq = normal_form.predicates[0]
+    assert isinstance(diseq, Disequality)
+    # The literal became a fresh variable with the singleton language.
+    fresh = [name for name in diseq.rhs if name.startswith("_lit")]
+    assert len(fresh) == 1
+    assert normal_form.automata[fresh[0]].accepts("ab")
+    assert not normal_form.automata[fresh[0]].accepts("a")
+
+
+def test_normalize_positive_prefix_becomes_equation():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(PrefixOf(term("x"), term("y")))
+    normal_form = normalize(problem)
+    assert not normal_form.predicates
+    assert len(normal_form.equations) == 1
+    lhs, rhs = normal_form.equations[0]
+    assert lhs == ("y",)
+    assert rhs[0] == "x" and len(rhs) == 2  # y = x . fresh
+
+
+def test_normalize_positive_contains_becomes_equation():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(Contains(term("n"), term("h")))
+    normal_form = normalize(problem)
+    assert len(normal_form.equations) == 1
+    lhs, rhs = normal_form.equations[0]
+    assert lhs == ("h",)
+    assert len(rhs) == 3 and rhs[1] == "n"
+
+
+def test_normalize_negated_predicates_become_position_constraints():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(PrefixOf(term("x"), term("y"), positive=False))
+    problem.add(SuffixOf(term("x"), term("y"), positive=False))
+    problem.add(Contains(term("x"), term("y"), positive=False))
+    problem.add(StrAtAtom(StringVar("c"), term("y"), 0, positive=False))
+    normal_form = normalize(problem)
+    kinds = {type(p) for p in normal_form.predicates}
+    assert kinds == {NotPrefixOf, NotSuffixOf, NotContains, StrAt}
+
+
+def test_normalize_intersects_multiple_memberships():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(RegexMembership("x", "(a|b)*a"))
+    problem.add(RegexMembership("x", "a(a|b)*"))
+    normal_form = normalize(problem)
+    nfa = normal_form.automata["x"]
+    assert nfa.accepts("aba")
+    assert not nfa.accepts("ab")
+    assert not nfa.accepts("ba")
+
+
+def test_normalize_negated_membership_is_complemented():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(RegexMembership("x", "(ab)*", positive=False))
+    normal_form = normalize(problem)
+    assert not normal_form.automata["x"].accepts("ab")
+    assert normal_form.automata["x"].accepts("a")
+
+
+def test_normalize_unconstrained_variable_gets_universal_language():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(WordEquation(term("x"), term("y"), positive=False))
+    normal_form = normalize(problem)
+    assert normal_form.automata["x"].accepts("abba")
+    assert normal_form.automata["y"].accepts("")
+
+
+def test_normalize_integer_constraints_collected():
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(LengthConstraint(lia_eq(str_len("x"), 3)))
+    problem.add(RegexMembership("x", "a*"))
+    normal_form = normalize(problem)
+    assert "@len.x" in normal_form.integer_formula.variables()
