@@ -1,0 +1,219 @@
+"""Micro-benchmark harness for the incremental DPLL(T) LIA stack.
+
+Two workloads are timed:
+
+* **mbqi** — ¬contains chains (one instantiation lemma per predicate, so a
+  ``k``-chain drives ``k+1`` LIA queries through the solve–refine loop).
+  Each instance is run twice: on the incremental assertion stack (the
+  default) and in from-scratch mode (``SolverConfig.incremental_lia=False``,
+  one fresh ``LiaSolver.check`` per round — the seed's behaviour).
+* **e2e** — the scaled-down end-to-end benchmark suite
+  (:func:`repro.benchgen.suite.benchmark_sets`, scale 1) under the position
+  solver with a 20 s per-instance timeout.
+
+Speedups are reported against ``seed_baseline.json`` — per-instance timings
+of the pre-incremental seed measured on the same machine — and the result is
+written to ``BENCH_lia.json`` next to this file.  Verdict changes against
+the seed are listed explicitly and classified: ``improved`` (the seed ran
+out of budget, the new solver solves it with a verified model), ``corrected``
+(the seed's verdict is contradicted by a model-verified answer — the seed's
+conflict cores were unsound, see ``repro.lia.intsolver``), and
+``newly_unsolved`` (sound conflict cores cost enough that the instance no
+longer fits the budget).  ``wrong_verdicts`` counts contradictions with
+ground-truth expectations and must stay 0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_lia.py [--quick] [--output P]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(os.path.dirname(_HERE)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+SEED_BASELINE_PATH = os.path.join(_HERE, "seed_baseline.json")
+DEFAULT_OUTPUT_PATH = os.path.join(_HERE, "BENCH_lia.json")
+
+#: per-instance timeout of the e2e workload (matches the seed baseline)
+E2E_TIMEOUT = 20.0
+#: generous cap for the MBQI instances
+MBQI_TIMEOUT = 120.0
+
+#: chain lengths of the MBQI workload (quick mode runs only the first)
+MBQI_CHAINS = (4, 6, 8)
+#: benchmark sets of the quick e2e smoke (a subset that runs in ~a minute)
+QUICK_E2E_SETS = ("thefuck-like",)
+
+
+def _chain_problem(k: int):
+    from repro.lia import ge
+    from repro.strings.ast import (
+        Contains,
+        LengthConstraint,
+        Problem,
+        RegexMembership,
+        str_len,
+        term,
+    )
+
+    problem = Problem(alphabet=tuple("abc"), name=f"nc-chain-{k}")
+    names = [f"x{i}" for i in range(k + 1)]
+    for name in names:
+        problem.add(RegexMembership(name, "a*"))
+    for i in range(k):
+        problem.add(Contains(term(names[i + 1]), term(names[i]), positive=False))
+    problem.add(LengthConstraint(ge(str_len(names[0]), 2)))
+    return problem
+
+
+def _solve(problem, timeout: float, incremental: bool):
+    from repro.solver import PositionSolver, SolverConfig
+
+    config = SolverConfig(timeout=timeout, incremental_lia=incremental)
+    start = time.monotonic()
+    result = PositionSolver(config).check(problem)
+    elapsed = time.monotonic() - start
+    return result, elapsed
+
+
+def run_mbqi(baseline: Dict, quick: bool) -> Dict:
+    chains = MBQI_CHAINS[:1] if quick else MBQI_CHAINS
+    instances = {}
+    for k in chains:
+        name = f"nc-chain-{k}"
+        problem = _chain_problem(k)
+        incremental, inc_seconds = _solve(problem, MBQI_TIMEOUT, incremental=True)
+        scratch, scr_seconds = _solve(problem, MBQI_TIMEOUT, incremental=False)
+        seed = baseline["mbqi"].get(name, {})
+        entry = {
+            "status": incremental.status.value,
+            "lia_queries": incremental.lia_queries,
+            "incremental_seconds": round(inc_seconds, 3),
+            "scratch_seconds": round(scr_seconds, 3),
+            "scratch_status": scratch.status.value,
+            "speedup_incremental_vs_scratch": round(scr_seconds / inc_seconds, 2),
+            "stats": incremental.stats,
+        }
+        if seed:
+            entry["seed_seconds"] = seed["seconds"]
+            entry["speedup_vs_seed"] = round(seed["seconds"] / inc_seconds, 2)
+            entry["verdict_matches_seed"] = incremental.status.value == seed["status"]
+        instances[name] = entry
+        print(
+            f"[mbqi] {name}: {entry['status']} in {inc_seconds:.2f}s "
+            f"(scratch {scr_seconds:.2f}s, seed {seed.get('seconds', '—')}s, "
+            f"{entry['lia_queries']} queries)"
+        )
+    return {"timeout": MBQI_TIMEOUT, "instances": instances}
+
+
+def run_e2e(baseline: Dict, quick: bool) -> Dict:
+    from repro.benchgen.suite import benchmark_sets
+    from repro.strings.semantics import eval_problem
+
+    sets = benchmark_sets(scale=1, seed=7)
+    if quick:
+        sets = {name: sets[name] for name in QUICK_E2E_SETS}
+
+    seed_instances = baseline["e2e"]["instances"]
+    instances: Dict[str, Dict] = {}
+    verdict_changes = []
+    wrong_verdicts = 0
+    total = 0.0
+    seed_total = 0.0
+    for set_name, items in sets.items():
+        for instance_name, problem, expected in items:
+            key = f"{set_name}/{instance_name}"
+            result, elapsed = _solve(problem, E2E_TIMEOUT, incremental=True)
+            status = result.status.value
+            model_verified = False
+            if result.is_sat and result.model is not None:
+                model_verified = eval_problem(
+                    problem, result.model.strings, result.model.integers
+                )
+            if expected is not None and result.solved and status != expected:
+                wrong_verdicts += 1
+            total += elapsed
+            entry = {
+                "status": status,
+                "seconds": round(elapsed, 3),
+                "expected": expected,
+                "stats": result.stats,
+            }
+            seed = seed_instances.get(key)
+            if seed:
+                seed_total += seed["seconds"]
+                entry["seed_status"] = seed["status"]
+                entry["seed_seconds"] = seed["seconds"]
+                if seed["status"] != status:
+                    if status in ("sat", "unsat") and seed["status"] in ("timeout", "unknown"):
+                        kind = "improved"
+                    elif status in ("sat", "unsat") and model_verified:
+                        kind = "corrected"
+                    else:
+                        kind = "newly_unsolved"
+                    verdict_changes.append(
+                        {"instance": key, "seed": seed["status"], "now": status, "kind": kind}
+                    )
+            instances[key] = entry
+    summary = {
+        "timeout": E2E_TIMEOUT,
+        "total_seconds": round(total, 2),
+        "seed_total_seconds": round(seed_total, 2),
+        "speedup_vs_seed": round(seed_total / total, 2) if total else None,
+        "instances_run": len(instances),
+        "wrong_verdicts": wrong_verdicts,
+        "verdict_changes": verdict_changes,
+        "instances": instances,
+    }
+    print(
+        f"[e2e] {len(instances)} instances in {total:.1f}s "
+        f"(seed {seed_total:.1f}s, speedup {summary['speedup_vs_seed']}x, "
+        f"{len(verdict_changes)} verdict changes, {wrong_verdicts} wrong)"
+    )
+    return summary
+
+
+def run(quick: bool = False, output: Optional[str] = None) -> Dict:
+    with open(SEED_BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    report = {
+        "schema": 1,
+        "quick": quick,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "mbqi": run_mbqi(baseline, quick),
+        "e2e": run_e2e(baseline, quick),
+    }
+    path = output or DEFAULT_OUTPUT_PATH
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] report written to {path}")
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke subset")
+    parser.add_argument("--output", default=None, help="output JSON path")
+    args = parser.parse_args()
+    run(quick=args.quick, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Pytest wrapper for the LIA perf benchmark harness.
+
+Selected with ``pytest -m bench`` (optionally ``--quick``); in a regular
+test run the module skips itself so the tier-1 suite stays fast.  In quick
+mode the measured times are gated against the committed ``BENCH_lia.json``:
+the job fails when the quick workload regresses by more than 25 %.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from bench_lia import DEFAULT_OUTPUT_PATH, run
+
+#: tolerated slowdown against the committed baseline before the gate fails
+REGRESSION_FACTOR = 1.25
+
+
+@pytest.fixture(scope="module")
+def bench_selected(request):
+    markexpr = request.config.getoption("-m") or ""
+    if "bench" not in markexpr:
+        pytest.skip("benchmark harness runs only with -m bench")
+    return request.config.getoption("--quick")
+
+
+@pytest.mark.bench
+def test_bench_lia(bench_selected, tmp_path_factory):
+    quick = bench_selected
+    # Always measure into a scratch file: the committed BENCH_lia.json is
+    # only replaced after a full run passes its assertions, so a regressed
+    # run cannot clobber the baseline the CI gate compares against.
+    output = str(tmp_path_factory.mktemp("bench") / "BENCH_lia.json")
+    report = run(quick=quick, output=output)
+
+    mbqi = report["mbqi"]["instances"]
+    assert mbqi, "no MBQI instances ran"
+    for name, entry in mbqi.items():
+        assert entry["status"] == "sat", f"{name} no longer solves: {entry['status']}"
+        assert entry["lia_queries"] >= 5, f"{name} stopped exercising the MBQI loop"
+    e2e = report["e2e"]
+    assert e2e["wrong_verdicts"] == 0, e2e["verdict_changes"]
+
+    if not quick:
+        # Full run: check the headline speedups the incremental rework
+        # claims, then promote the measurement to the committed perf record.
+        chain6 = mbqi["nc-chain-6"]
+        assert chain6["speedup_vs_seed"] >= 3.0, chain6
+        assert e2e["speedup_vs_seed"] >= 1.5, {
+            "total": e2e["total_seconds"],
+            "seed": e2e["seed_total_seconds"],
+        }
+        shutil.copyfile(output, DEFAULT_OUTPUT_PATH)
+        return
+
+    # Quick run: regression gate against the committed BENCH_lia.json.
+    if not os.path.exists(DEFAULT_OUTPUT_PATH):
+        pytest.skip("no committed BENCH_lia.json to gate against")
+    with open(DEFAULT_OUTPUT_PATH) as fh:
+        committed = json.load(fh)
+
+    chain4_now = report["mbqi"]["instances"]["nc-chain-4"]["incremental_seconds"]
+    chain4_ref = committed["mbqi"]["instances"]["nc-chain-4"]["incremental_seconds"]
+    assert chain4_now <= chain4_ref * REGRESSION_FACTOR, (
+        f"MBQI quick bench regressed: {chain4_now:.2f}s vs committed "
+        f"{chain4_ref:.2f}s (tolerance {REGRESSION_FACTOR}x)"
+    )
+
+    ref_instances = committed["e2e"]["instances"]
+    now_total = ref_total = 0.0
+    for key, entry in report["e2e"]["instances"].items():
+        reference = ref_instances.get(key)
+        if reference is None:
+            continue
+        now_total += entry["seconds"]
+        ref_total += reference["seconds"]
+    assert ref_total > 0, "quick e2e subset missing from committed BENCH_lia.json"
+    assert now_total <= ref_total * REGRESSION_FACTOR, (
+        f"e2e quick bench regressed: {now_total:.1f}s vs committed "
+        f"{ref_total:.1f}s (tolerance {REGRESSION_FACTOR}x)"
+    )

@@ -31,7 +31,7 @@ class Nfa:
     ``state -> symbol -> set of successor states``.
     """
 
-    __slots__ = ("states", "initial", "final", "_delta", "_alphabet")
+    __slots__ = ("states", "initial", "final", "_delta", "_alphabet", "_next_state")
 
     def __init__(self, alphabet: Optional[Iterable[str]] = None) -> None:
         self.states: Set[State] = set()
@@ -39,14 +39,27 @@ class Nfa:
         self.final: Set[State] = set()
         self._delta: Dict[State, Dict[Symbol, Set[State]]] = {}
         self._alphabet: Set[str] = set(alphabet) if alphabet else set()
+        #: next fresh state id; kept ahead of every state the mutating
+        #: methods have seen so ``add_state()`` is O(1) instead of an O(n)
+        #: ``max`` scan (which made loops adding many states quadratic)
+        self._next_state: State = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _note_state(self, state: State) -> None:
+        if state >= self._next_state:
+            self._next_state = state + 1
+
+    def _sync_state_counter(self) -> None:
+        """Re-derive the fresh-id counter after a bulk ``states`` assignment."""
+        self._next_state = max(self.states, default=-1) + 1
+
     def add_state(self, state: Optional[State] = None) -> State:
         """Add a state (allocating a fresh identifier when none is given)."""
         if state is None:
-            state = max(self.states, default=-1) + 1
+            state = self._next_state
+        self._note_state(state)
         self.states.add(state)
         return state
 
@@ -55,10 +68,12 @@ class Nfa:
         return [self.add_state() for _ in range(count)]
 
     def make_initial(self, state: State) -> None:
+        self._note_state(state)
         self.states.add(state)
         self.initial.add(state)
 
     def make_final(self, state: State) -> None:
+        self._note_state(state)
         self.states.add(state)
         self.final.add(state)
 
@@ -72,6 +87,8 @@ class Nfa:
             if not isinstance(symbol, str) or len(symbol) != 1:
                 raise ValueError(f"symbols must be single characters, got {symbol!r}")
             self._alphabet.add(symbol)
+        self._note_state(src)
+        self._note_state(dst)
         self.states.add(src)
         self.states.add(dst)
         self._delta.setdefault(src, {}).setdefault(symbol, set()).add(dst)
@@ -204,6 +221,7 @@ class Nfa:
             result.states = {state}
             result.initial = {state}
             result.final = {state}
+        result._sync_state_counter()
         return result
 
     # ------------------------------------------------------------------
@@ -215,6 +233,7 @@ class Nfa:
         result.states = set(self.states)
         result.initial = set(self.initial)
         result.final = set(self.final)
+        result._sync_state_counter()
         for src, symbol, dst in self.iter_transitions():
             result.add_transition(src, symbol, dst)
         return result
@@ -229,6 +248,7 @@ class Nfa:
         result.states = set(mapping.values())
         result.initial = {mapping[s] for s in self.initial}
         result.final = {mapping[s] for s in self.final}
+        result._sync_state_counter()
         for src, symbol, dst in self.iter_transitions():
             result.add_transition(mapping[src], symbol, mapping[dst])
         return result, mapping

@@ -18,12 +18,13 @@ def union(left: Nfa, right: Nfa) -> Nfa:
     """Return an NFA for ``L(left) ∪ L(right)``."""
     result = Nfa(left.alphabet | right.alphabet)
     left_copy, left_map = left.renumbered(0)
-    offset = max(left_copy.states, default=-1) + 1
+    offset = left_copy._next_state
     right_copy, right_map = right.renumbered(offset)
     for part in (left_copy, right_copy):
         result.states |= part.states
         result.initial |= part.initial
         result.final |= part.final
+        result._sync_state_counter()
         for src, symbol, dst in part.iter_transitions():
             result.add_transition(src, symbol, dst)
     return result
@@ -37,11 +38,12 @@ def concat(left: Nfa, right: Nfa) -> Nfa:
     """
     result = Nfa(left.alphabet | right.alphabet)
     left_copy, _ = left.renumbered(0)
-    offset = max(left_copy.states, default=-1) + 1
+    offset = left_copy._next_state
     right_copy, _ = right.renumbered(offset)
     result.states = left_copy.states | right_copy.states
     result.initial = set(left_copy.initial)
     result.final = set(right_copy.final)
+    result._sync_state_counter()
     for part in (left_copy, right_copy):
         for src, symbol, dst in part.iter_transitions():
             result.add_transition(src, symbol, dst)
@@ -105,6 +107,7 @@ def remove_epsilon(nfa: Nfa) -> Nfa:
     result = Nfa(nfa.alphabet)
     result.states = set(nfa.states)
     result.initial = set(nfa.initial)
+    result._sync_state_counter()
     closures: Dict[State, FrozenSet[State]] = {
         state: nfa.epsilon_closure([state]) for state in nfa.states
     }
@@ -217,6 +220,7 @@ def reverse(nfa: Nfa) -> Nfa:
     result.states = set(nfa.states)
     result.initial = set(nfa.final)
     result.final = set(nfa.initial)
+    result._sync_state_counter()
     for src, symbol, dst in nfa.iter_transitions():
         result.add_transition(dst, symbol, src)
     return result

@@ -26,6 +26,20 @@ Instance = Tuple[str, Problem, Optional[str]]
 SolverFactory = Callable[[], object]
 
 
+#: solver counters reported in the per-instance CSV (when the solver
+#: exposes them through ``SolveResult.stats``)
+STAT_COLUMNS = (
+    "decisions",
+    "propagations",
+    "conflicts",
+    "theory_checks",
+    "learned_clauses",
+    "restarts",
+    "pivots",
+    "cache_hits",
+)
+
+
 @dataclass
 class RunRecord:
     """Result of one solver on one instance."""
@@ -36,6 +50,7 @@ class RunRecord:
     status: Status
     time: float
     expected: Optional[str] = None
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def solved(self) -> bool:
@@ -184,11 +199,15 @@ class Campaign:
         """Dump the per-instance records as CSV (for external plotting)."""
         output = io.StringIO()
         writer = csv.writer(output)
-        writer.writerow(["benchmark", "instance", "solver", "status", "time", "expected"])
+        writer.writerow(
+            ["benchmark", "instance", "solver", "status", "time", "expected"]
+            + list(STAT_COLUMNS)
+        )
         for record in self.records:
             writer.writerow(
                 [record.benchmark, record.instance, record.solver, record.status.value,
                  f"{record.time:.4f}", record.expected or ""]
+                + [record.stats.get(column, "") for column in STAT_COLUMNS]
             )
         return output.getvalue()
 
@@ -222,6 +241,7 @@ def run_campaign(
                         status=status,
                         time=elapsed,
                         expected=expected,
+                        stats=dict(getattr(result, "stats", None) or {}),
                     )
                 )
     return campaign

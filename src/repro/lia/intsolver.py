@@ -29,6 +29,8 @@ class IntResult:
     feasible: bool
     model: Optional[Dict[str, int]] = None
     conflict: Optional[Set[object]] = None
+    #: simplex pivots spent on this check (benchmark statistic)
+    pivots: int = 0
 
 
 def _gcd(values) -> int:
@@ -38,6 +40,17 @@ def _gcd(values) -> int:
     for value in values:
         result = gcd(result, abs(int(value)))
     return result
+
+
+def _flatten_tags(tags) -> Set[object]:
+    """Expand frozenset provenance tags back into the original caller tags."""
+    out: Set[object] = set()
+    for tag in tags or ():
+        if isinstance(tag, frozenset):
+            out |= tag
+        elif tag is not None:
+            out.add(tag)
+    return out
 
 
 def _eliminate_pass(
@@ -53,6 +66,13 @@ def _eliminate_pass(
     * if some coefficient is ±1 the variable is solved for and substituted
       (recorded so models can be completed afterwards),
     * otherwise the (gcd-normalised) equality is kept for the simplex.
+
+    Constraint tags here are *frozensets* of original caller tags: whenever a
+    definition derived from equality ``E`` is substituted into a constraint
+    ``C``, the tags of ``E`` are merged into ``C`` so that any later conflict
+    on (a descendant of) ``C`` reports every constraint that produced it —
+    reporting only ``C``'s own tag would yield an unsound conflict core (and,
+    one level up, an over-strong learned theory clause).
 
     Returns ``(remaining constraints, eliminated definitions, conflict tags)``.
     """
@@ -70,12 +90,12 @@ def _eliminate_pass(
         expr = constraint.expr
         if not expr.coeffs:
             if expr.const != 0:
-                return None, eliminated, {constraint.tag}
+                return None, eliminated, constraint.tag
             continue
         g = _gcd(expr.coeffs.values())
         if g > 1:
             if expr.const % g != 0:
-                return None, eliminated, {constraint.tag}
+                return None, eliminated, constraint.tag
             expr = LinExpr({k: v // g for k, v in expr.coeffs.items()}, expr.const // g)
         pivot = None
         for name, coeff in expr.coeffs.items():
@@ -90,12 +110,16 @@ def _eliminate_pass(
         definition = rest * (-1) if coeff == 1 else rest
         eliminated.append((name, definition))
         mapping = {name: definition}
+        source_tags = constraint.tag
 
         def substitute_all(items: List[Constraint]) -> List[Constraint]:
             updated = []
             for item in items:
+                if name not in item.expr.coeffs:
+                    updated.append(item)
+                    continue
                 new_expr = item.expr.substitute(mapping)
-                updated.append(Constraint(new_expr, item.relation, item.tag))
+                updated.append(Constraint(new_expr, item.relation, item.tag | source_tags))
             return updated
 
         equalities = substitute_all(equalities)
@@ -119,12 +143,12 @@ def _eliminate_pass(
                 expr.const >= 0 if constraint.relation == ">=" else expr.const == 0
             )
             if not holds:
-                return None, eliminated, {constraint.tag}
+                return None, eliminated, constraint.tag
             continue
         if constraint.relation == "==":
             g = _gcd(expr.coeffs.values())
             if g > 1 and expr.const % g != 0:
-                return None, eliminated, {constraint.tag}
+                return None, eliminated, constraint.tag
             final.append(constraint)
             continue
         # Normalise to "expr <= 0" form.
@@ -152,8 +176,8 @@ def _implied_equalities(constraints: Sequence[Constraint]) -> Tuple[Optional[Lis
     """
     from .terms import LinExpr
 
-    lower: Dict[str, Tuple[int, object]] = {}
-    upper: Dict[str, Tuple[int, object]] = {}
+    lower: Dict[str, Tuple[int, frozenset]] = {}
+    upper: Dict[str, Tuple[int, frozenset]] = {}
     seen_forms: Dict[Tuple, Constraint] = {}
     implied: List[Constraint] = []
 
@@ -180,12 +204,13 @@ def _implied_equalities(constraints: Sequence[Constraint]) -> Tuple[Optional[Lis
                     lower[name] = (bound, constraint.tag)
 
     for name in set(lower) & set(upper):
-        low, low_tag = lower[name]
-        high, high_tag = upper[name]
+        low, low_tags = lower[name]
+        high, high_tags = upper[name]
         if low > high:
-            return None, {tag for tag in (low_tag, high_tag) if tag is not None}
+            return None, low_tags | high_tags
         if low == high:
-            implied.append(Constraint(LinExpr({name: 1}, -low), "==", low_tag))
+            # The implied equality relies on *both* bounds.
+            implied.append(Constraint(LinExpr({name: 1}, -low), "==", low_tags | high_tags))
 
     for key, constraint in seen_forms.items():
         expr = constraint.expr if constraint.relation == "<=" else constraint.expr * -1
@@ -194,7 +219,8 @@ def _implied_equalities(constraints: Sequence[Constraint]) -> Tuple[Optional[Lis
         negated = expr * -1
         negated_key = tuple(sorted(negated.coeffs.items())) + (negated.const,)
         if negated_key in seen_forms and repr(key) < repr(negated_key):
-            implied.append(Constraint(expr, "==", constraint.tag))
+            other = seen_forms[negated_key]
+            implied.append(Constraint(expr, "==", constraint.tag | other.tag))
 
     return implied, set()
 
@@ -202,8 +228,23 @@ def _implied_equalities(constraints: Sequence[Constraint]) -> Tuple[Optional[Lis
 def _eliminate_equalities_over_z(
     constraints: Sequence[Constraint],
 ) -> Tuple[Optional[List[Constraint]], List[Tuple[str, "LinExpr"]], Set[object]]:
-    """Fixpoint of equality elimination, bound propagation and gcd tightening."""
-    current = list(constraints)
+    """Fixpoint of equality elimination, bound propagation and gcd tightening.
+
+    Tags are normalised to frozensets of original caller tags on entry so
+    that substitution provenance can be tracked (see :func:`_eliminate_pass`);
+    the reduced constraints keep frozenset tags and callers flatten conflict
+    sets with :func:`_flatten_tags`.
+    """
+    current = [
+        Constraint(
+            c.expr,
+            c.relation,
+            c.tag
+            if isinstance(c.tag, frozenset)
+            else (frozenset() if c.tag is None else frozenset([c.tag])),
+        )
+        for c in constraints
+    ]
     eliminated_all: List[Tuple[str, "LinExpr"]] = []
     for _round in range(6):
         reduced, eliminated, conflict = _eliminate_pass(current)
@@ -261,7 +302,7 @@ def check_integer_feasibility(
     original_constraints = list(constraints)
     reduced, eliminated_defs, conflict_tags = _eliminate_equalities_over_z(original_constraints)
     if reduced is None:
-        tags = {tag for tag in conflict_tags if tag is not None}
+        tags = _flatten_tags(conflict_tags)
         if not tags:
             tags = {c.tag for c in original_constraints if c.tag is not None}
         return IntResult(False, conflict=tags)
@@ -279,7 +320,15 @@ def check_integer_feasibility(
     nodes_used = 0
     max_depth = 120
 
-    def solve(extra: List[Constraint], depth: int = 0) -> IntResult:
+    # One tableau for the whole search: the base constraints are loaded once
+    # and every branch constraint is a retractable single-variable bound
+    # (push/pop), so no node ever rebuilds rows and every relaxation check
+    # starts from the previous (warm) basis.
+    simplex = Simplex()
+    for constraint in constraints:
+        simplex.add_constraint(constraint)
+
+    def solve(depth: int = 0) -> IntResult:
         nonlocal nodes_used
         nodes_used += 1
         if nodes_used > max_nodes:
@@ -289,11 +338,6 @@ def check_integer_feasibility(
         if deadline is not None and time.monotonic() > deadline:
             raise ResourceLimit("branch-and-bound exceeded the time budget")
 
-        simplex = Simplex()
-        for constraint in constraints:
-            simplex.add_constraint(constraint)
-        for constraint in extra:
-            simplex.add_constraint(constraint)
         relaxation: SimplexResult = simplex.check()
         if not relaxation.feasible:
             return IntResult(False, conflict=relaxation.conflict)
@@ -321,17 +365,32 @@ def check_integer_feasibility(
         below = Constraint(LinExpr({branch_var: 1}, -floor_value), "<=", tag=None)
         above = Constraint(LinExpr({branch_var: 1}, -(floor_value + 1)), ">=", tag=None)
 
-        left = solve(extra + [below], depth + 1)
+        simplex.push()
+        simplex.add_constraint(below)
+        left = solve(depth + 1)
+        simplex.pop()
         if left.feasible:
             return left
-        right = solve(extra + [above], depth + 1)
+        simplex.push()
+        simplex.add_constraint(above)
+        right = solve(depth + 1)
+        simplex.pop()
         if right.feasible:
             return right
-        # Neither branch is integer feasible; the conflict is not precise
-        # (the union would over-approximate), so report no core.
-        return IntResult(False, conflict=set())
+        # Neither branch is integer feasible.  The union of the two branch
+        # cores over-approximates a minimal explanation but is still a sound
+        # core (the branch constraints themselves carry no tag and drop out):
+        # reporting it lets the caller learn a clause that actually prunes,
+        # where an empty core would force blocking the entire assignment.
+        return IntResult(
+            False, conflict=(left.conflict or set()) | (right.conflict or set())
+        )
 
-    return solve([])
+    result = solve()
+    result.pivots = simplex.pivots
+    if not result.feasible:
+        result.conflict = _flatten_tags(result.conflict)
+    return result
 
 
 def check_rational_feasibility(constraints: Sequence[Constraint]) -> SimplexResult:

@@ -1,10 +1,35 @@
-"""A DPLL SAT search with a theory hook (the "DPLL(T)" loop).
+"""An incremental DPLL SAT search with a theory hook (the "DPLL(T)" loop).
 
-The propositional part works on the clause set produced by
-:mod:`repro.lia.cnf`.  The search is a classic iterative DPLL with unit
-propagation and chronological backtracking; learned clauses (theory blocking
-clauses or theory conflict clauses) can be added during the search through
-the theory callback.
+The propositional engine works on the clause set produced by
+:mod:`repro.lia.cnf` and is built for the *solve–refine* workloads of lazy
+SMT: the clause database, watch lists, variable activities and learned theory
+clauses all survive across :meth:`DpllSolver.solve` calls, so a caller that
+adds a handful of clauses between checks (an MBQI instantiation lemma, a new
+assertion-stack frame) restarts the boolean search with everything it learned
+before.
+
+Architecture:
+
+* **Two-watched-literal propagation** — every clause with ≥ 2 literals
+  watches two of them; unit propagation only touches the watch lists of the
+  newly falsified literal instead of scanning the clause database
+  (Moskewicz et al., "Chaff", DAC 2001).  Unit clauses are kept in a
+  separate set and asserted at the root of every restart.
+* **Activity-ordered decisions** — decisions pick the unassigned variable
+  occurring most often in currently-unsatisfied clauses (the classic DLIS
+  measure, which keeps chronological search focused on clauses that still
+  need work) and break ties by a VSIDS-style exponentially decaying
+  activity score bumped on every conflict, so repeatedly conflicting
+  variables rise within their frequency class.
+* **Chronological backtracking** — conflicts flip the most recent
+  un-flipped decision (the classic DPLL regime).  Completeness does not
+  rely on conflict clauses, so theory *blocking* clauses (which are not
+  implied) are safe to add.
+* **Incremental clause database** — :meth:`add_clause` (deduplicating) may
+  be called between solves and during the search through the theory
+  callback; :meth:`remove_unit` retracts a root-level unit assertion,
+  which is how the assertion stack of :class:`repro.lia.solver.LiaSolver`
+  implements ``pop`` (Tseitin definitions are implications and stay).
 
 The theory callback receives the set of atom variables currently assigned
 *true* and returns either ``None`` (consistent as far as it can tell) or a
@@ -14,13 +39,18 @@ conflict clause (a tuple of literals) that is added to the clause database.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .intsolver import ResourceLimit
 
 Clause = Tuple[int, ...]
 TheoryCallback = Callable[[Set[int], bool], Optional[Clause]]
+
+#: multiplicative activity decay applied after every conflict
+_ACTIVITY_DECAY = 0.95
+#: rescale threshold guarding against float overflow
+_ACTIVITY_RESCALE = 1e100
 
 
 @dataclass
@@ -32,133 +62,484 @@ class SatStats:
     conflicts: int = 0
     theory_checks: int = 0
     learned_clauses: int = 0
+    restarts: int = 0
+    duplicate_clauses: int = 0
 
 
 class DpllSolver:
-    """DPLL with unit propagation, chronological backtracking and a theory hook."""
+    """Incremental DPLL with watched-literal propagation and a theory hook."""
 
     def __init__(
         self,
-        num_vars: int,
-        clauses: Sequence[Clause],
+        num_vars: int = 0,
+        clauses: Sequence[Clause] = (),
         theory_atoms: Optional[Set[int]] = None,
         theory_callback: Optional[TheoryCallback] = None,
         deadline: Optional[float] = None,
         max_conflicts: int = 200000,
     ) -> None:
-        self.num_vars = num_vars
-        self.clauses: List[Clause] = [tuple(clause) for clause in clauses]
-        self.theory_atoms = theory_atoms or set()
+        self.num_vars = 0
+        #: the caller may keep mutating this set between solves (new atoms)
+        self.theory_atoms = theory_atoms if theory_atoms is not None else set()
         self.theory_callback = theory_callback
         self.deadline = deadline
         self.max_conflicts = max_conflicts
+        #: decision phase for theory atoms: ``False`` (the default) decides
+        #: atoms positively, which drives model search on satisfiable
+        #: encodings; the theory layer switches this to ``True`` on
+        #: integer-sensitive refutation workloads, where deciding atoms
+        #: negatively keeps the asserted-atom sets (and hence the theory
+        #: conflicts) small
+        self.negative_atom_phase = False
+        #: set by the theory layer to restart the search at the next
+        #: opportunity (keeping all clauses and activities); used when a
+        #: mid-search heuristic change makes the current partial assignment
+        #: worth abandoning
+        self.request_restart = False
         self.stats = SatStats()
 
-        self.assignment: Dict[int, bool] = {}
-        # Trail of (literal, is_decision, tried_both)
+        self.clauses: List[List[int]] = []
+        #: literal -> indices of clauses currently watching it
+        self._watches: Dict[int, List[int]] = {}
+        #: variable -> indices of clauses mentioning it (either polarity);
+        #: consulted after backtracking to re-derive implications whose
+        #: watched literals did not change (see :meth:`_apply_recheck`)
+        self._occurrences: Dict[int, List[int]] = {}
+        #: clause indices to re-examine before the next propagation round
+        self._pending_recheck: Set[int] = set()
+        #: set after a backtrack: unit assertions may have been unwound and
+        #: must be re-asserted before the next propagation round
+        self._units_dirty = False
+        #: canonical (sorted) clause keys for deduplication
+        self._clause_keys: Dict[Clause, int] = {}
+        #: root-level unit assertions (asserted at the start of every solve)
+        self._units: Set[int] = set()
+
+        # Search state (index 0 unused; variables are 1-based).
+        self._value_of: List[Optional[bool]] = [None]
+        #: trail position of each variable's current assignment (valid while
+        #: assigned; used to order watches on learned clauses)
+        self._pos_of: List[int] = [0]
         self.trail: List[List] = []
+        self._prop_head = 0
+        self._true_atoms: Set[int] = set()
+
+        # Activity / decision order.
+        self._activity: List[float] = [0.0]
+        self._var_inc = 1.0
+
+        self.ensure_vars(num_vars)
+        for clause in clauses:
+            self.add_clause(clause)
 
     # ------------------------------------------------------------------
+    # Clause database
+    # ------------------------------------------------------------------
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable range to ``1..num_vars``."""
+        while self.num_vars < num_vars:
+            self.num_vars += 1
+            self._value_of.append(None)
+            self._pos_of.append(0)
+            self._activity.append(0.0)
+
+    def add_clause(self, clause: Sequence[int]) -> bool:
+        """Add a clause (deduplicating); returns ``False`` for duplicates.
+
+        Safe to call between solves; during the search use the learned-clause
+        path of :meth:`solve` (the theory callback), which re-establishes the
+        watch invariant under the current partial assignment.
+        """
+        literals = list(dict.fromkeys(clause))
+        key = tuple(sorted(literals))
+        if key in self._clause_keys:
+            self.stats.duplicate_clauses += 1
+            return False
+        for literal in literals:
+            self.ensure_vars(abs(literal))
+        if len(literals) == 1:
+            self._clause_keys[key] = -1
+            self._units.add(literals[0])
+            return True
+        index = len(self.clauses)
+        self._clause_keys[key] = index
+        self.clauses.append(literals)
+        self._watches.setdefault(literals[0], []).append(index)
+        self._watches.setdefault(literals[1], []).append(index)
+        for literal in literals:
+            self._occurrences.setdefault(abs(literal), []).append(index)
+        return True
+
+    def remove_unit(self, literal: int) -> None:
+        """Retract a root-level unit assertion added via :meth:`add_clause`."""
+        self._units.discard(literal)
+        self._clause_keys.pop((literal,), None)
+
+    def retract_clause_key(self, key: Clause) -> None:
+        """Retract the clause with canonical (sorted) key ``key``, if present.
+
+        Used by the assertion stack to withdraw theory clauses that were
+        strengthened with level-local information.  The clause slot is
+        emptied in place (an empty slot is inert for propagation, decision
+        counting and rechecking) so the remaining indices stay stable.
+        """
+        if not key:
+            return
+        index = self._clause_keys.pop(key, None)
+        if index is None:
+            return
+        if index == -1:
+            self._units.discard(key[0])
+            return
+        lits = self.clauses[index]
+        for literal in set(lits):
+            watch_list = self._watches.get(literal)
+            if watch_list and index in watch_list:
+                watch_list.remove(index)
+            occurrence = self._occurrences.get(abs(literal))
+            if occurrence and index in occurrence:
+                occurrence.remove(index)
+        self.clauses[index] = []
+        self._pending_recheck.discard(index)
+
+    def has_unit(self, literal: int) -> bool:
+        return literal in self._units
+
+    # ------------------------------------------------------------------
+    # Assignment primitives
+    # ------------------------------------------------------------------
     def _value(self, literal: int) -> Optional[bool]:
-        var = abs(literal)
-        if var not in self.assignment:
+        value = self._value_of[abs(literal)]
+        if value is None:
             return None
-        value = self.assignment[var]
         return value if literal > 0 else not value
 
-    def _assign(self, literal: int, is_decision: bool) -> None:
-        self.assignment[abs(literal)] = literal > 0
-        self.trail.append([literal, is_decision, False])
+    def _assign(self, literal: int, is_decision: bool, tried_both: bool = False) -> None:
+        var = abs(literal)
+        self._value_of[var] = literal > 0
+        self.trail.append([literal, is_decision, tried_both])
+        self._pos_of[var] = len(self.trail) - 1
+        if literal > 0 and var in self.theory_atoms:
+            self._true_atoms.add(var)
 
     def _unassign_last(self) -> List:
         entry = self.trail.pop()
-        del self.assignment[abs(entry[0])]
+        var = abs(entry[0])
+        self._value_of[var] = None
+        self._true_atoms.discard(var)
         return entry
 
-    # ------------------------------------------------------------------
-    def _propagate(self) -> Optional[Clause]:
-        """Unit propagation; returns a falsified clause on conflict."""
-        changed = True
-        while changed:
-            changed = False
-            for clause in self.clauses:
-                unassigned: Optional[int] = None
-                satisfied = False
-                multiple_unassigned = False
-                for literal in clause:
-                    value = self._value(literal)
-                    if value is True:
-                        satisfied = True
-                        break
-                    if value is None:
-                        if unassigned is None:
-                            unassigned = literal
-                        else:
-                            multiple_unassigned = True
-                if satisfied:
-                    continue
-                if unassigned is None:
-                    return clause
-                if not multiple_unassigned:
-                    self._assign(unassigned, is_decision=False)
-                    self.stats.propagations += 1
-                    changed = True
-        return None
+    # Compatibility view used by tests and debugging tools.
+    @property
+    def assignment(self) -> Dict[int, bool]:
+        return {
+            var: value
+            for var, value in enumerate(self._value_of)
+            if var and value is not None
+        }
 
-    def _pick_branch_variable(self) -> Optional[int]:
-        """Pick an unassigned variable (most frequent in unsatisfied clauses)."""
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _ACTIVITY_RESCALE:
+            self._rescale_activity()
+
+    def _rescale_activity(self) -> None:
+        for var in range(1, self.num_vars + 1):
+            self._activity[var] *= 1e-100
+        self._var_inc *= 1e-100
+
+    def _on_conflict_clause(self, clause: Sequence[int]) -> None:
+        for literal in clause:
+            self._bump_var(abs(literal))
+        self._var_inc /= _ACTIVITY_DECAY
+
+    def _decide_var(self) -> Optional[int]:
+        """DLIS count over unsatisfied clauses, activity as the tie-break."""
+        value_of = self._value_of
         counts: Dict[int, int] = {}
-        for clause in self.clauses:
-            clause_satisfied = any(self._value(lit) is True for lit in clause)
-            if clause_satisfied:
+        for lits in self.clauses:
+            satisfied = False
+            for literal in lits:
+                value = value_of[abs(literal)]
+                if value is not None and value == (literal > 0):
+                    satisfied = True
+                    break
+            if satisfied:
                 continue
-            for literal in clause:
+            for literal in lits:
                 var = abs(literal)
-                if var not in self.assignment:
+                if value_of[var] is None:
                     counts[var] = counts.get(var, 0) + 1
         if counts:
-            return max(counts, key=lambda v: (counts[v], -v))
+            activity = self._activity
+            return max(counts, key=lambda v: (counts[v], activity[v], -v))
         for var in range(1, self.num_vars + 1):
-            if var not in self.assignment:
+            if value_of[var] is None:
                 return var
         return None
 
-    def _true_theory_atoms(self) -> Set[int]:
-        return {var for var in self.theory_atoms if self.assignment.get(var) is True}
+    # ------------------------------------------------------------------
+    # Watched-literal propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> Optional[Sequence[int]]:
+        """Unit propagation over the watch lists; returns a falsified clause."""
+        while self._prop_head < len(self.trail):
+            literal = self.trail[self._prop_head][0]
+            self._prop_head += 1
+            false_literal = -literal
+            watch_list = self._watches.get(false_literal)
+            if not watch_list:
+                continue
+            kept: List[int] = []
+            position = 0
+            while position < len(watch_list):
+                index = watch_list[position]
+                position += 1
+                lits = self.clauses[index]
+                # Normalise: the falsified watch sits at position 1.
+                if lits[0] == false_literal:
+                    lits[0], lits[1] = lits[1], lits[0]
+                other = lits[0]
+                if self._value(other) is True:
+                    kept.append(index)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches.setdefault(lits[1], []).append(index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(index)
+                other_value = self._value(other)
+                if other_value is False:
+                    kept.extend(watch_list[position:])
+                    watch_list[:] = kept
+                    return lits
+                if other_value is None:
+                    self._assign(other, is_decision=False)
+                    self.stats.propagations += 1
+            watch_list[:] = kept
+        return None
 
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
     def _backtrack(self) -> bool:
         """Undo the trail up to the last decision not yet flipped; flip it.
 
         Returns ``False`` when no decision is left (the search space is
-        exhausted).
+        exhausted).  Clauses mentioning any unassigned variable are queued
+        for re-examination: watched-literal propagation only wakes up when a
+        *watched* literal is falsified, so a clause that was unit (or whose
+        satisfying literal sat) above the flip point would otherwise keep an
+        undetected implication once the trail unwinds past it.
         """
+        recheck = self._pending_recheck
+        occurrences = self._occurrences
+        self._units_dirty = True
         while self.trail:
             literal, is_decision, tried_both = self.trail[-1]
             if is_decision and not tried_both:
                 self._unassign_last()
-                # Re-assign the opposite phase as a pseudo-decision that must
-                # not be flipped again.
-                self.assignment[abs(literal)] = not (literal > 0)
-                self.trail.append([-literal, True, True])
+                recheck.update(occurrences.get(abs(literal), ()))
+                self._assign(-literal, is_decision=True, tried_both=True)
+                self._prop_head = len(self.trail) - 1
                 return True
             self._unassign_last()
+            recheck.update(occurrences.get(abs(literal), ()))
+        self._prop_head = 0
         return False
 
-    # ------------------------------------------------------------------
-    def solve(self) -> Tuple[str, Optional[Dict[int, bool]]]:
-        """Run the search; returns ``("sat", model)``, ``("unsat", None)``.
+    def _apply_recheck(self) -> Optional[Sequence[int]]:
+        """Re-derive implications from clauses queued by :meth:`_backtrack`.
 
+        Together with the watch-triggered :meth:`_propagate` this restores
+        the full propagation fixpoint of a naive clause-scanning solver:
+        after a backtrack, exactly the clauses containing a freshly
+        unassigned variable can hold a missed unit or conflict.
+        """
+        if self._units_dirty:
+            # Unit assertions have no watches; re-assert any that a backtrack
+            # unwound (a false unit is a root-level conflict clause).
+            self._units_dirty = False
+            for literal in self._units:
+                value = self._value(literal)
+                if value is False:
+                    return (literal,)
+                if value is None:
+                    self._assign(literal, is_decision=False)
+                    self.stats.propagations += 1
+        pending = self._pending_recheck
+        while pending:
+            index = pending.pop()
+            lits = self.clauses[index]
+            if not lits:  # retracted slot
+                continue
+            satisfied = False
+            unassigned = None
+            open_count = 0
+            for literal in lits:
+                value = self._value(literal)
+                if value is True:
+                    satisfied = True
+                    break
+                if value is None:
+                    unassigned = literal
+                    open_count += 1
+                    if open_count > 1:
+                        break
+            if satisfied or open_count > 1:
+                continue
+            if open_count == 0:
+                # Conflict: leave the remaining queue for after the backtrack
+                # (this clause re-enters it through its popped variables).
+                pending.add(index)
+                return lits
+            self._assign(unassigned, is_decision=False)
+            self.stats.propagations += 1
+        return None
+
+    def _learn(self, clause: Clause) -> bool:
+        """Install a theory clause during the search and recover from it.
+
+        Returns ``False`` when the search space is exhausted.  The clause is
+        falsified under the current assignment (it blocks the atoms the
+        theory just rejected): we backtrack once and queue the clause for
+        re-examination, so a clause that is still falsified after the flip
+        surfaces as a fresh conflict in the next round — the same fixpoint a
+        clause-scanning solver reaches by rescanning its database.
+        """
+        if not clause:
+            return False
+        literals = tuple(dict.fromkeys(clause))
+        added = self.add_clause(literals)
+        if added:
+            self.stats.learned_clauses += 1
+        self._on_conflict_clause(literals)
+        if not self._backtrack():
+            return False
+        if len(literals) == 1:
+            # Learned root-level unit: enforce it now (it only re-enters the
+            # search via the unit list on the next restart otherwise).
+            literal = literals[0]
+            while self._value(literal) is False:
+                self.stats.conflicts += 1
+                if not self._backtrack():
+                    return False
+            if self._value(literal) is None:
+                self._assign(literal, is_decision=False)
+                self.stats.propagations += 1
+            return True
+        index = self._clause_keys.get(tuple(sorted(literals)), -1)
+        if index >= 0:
+            self._rewatch(index)
+            self._pending_recheck.add(index)
+        return True
+
+    def _rewatch(self, index: int) -> None:
+        """Re-select the two watches of ``clauses[index]`` for a live trail.
+
+        Non-false literals are preferred; among false literals the *most
+        recently* falsified ones are chosen.  The recency order is what keeps
+        the watch invariant intact under chronological backtracking: whenever
+        the trail unwinds far enough that some literal of the clause becomes
+        non-false again, a watched literal is unassigned first (it is the
+        newest), so the clause can never silently turn unit or falsified
+        while both watches sit on stale false literals.
+        """
+        lits = self.clauses[index]
+        old_watch = (lits[0], lits[1])
+        pos_of = self._pos_of
+
+        def rank(k: int):
+            literal = lits[k]
+            if self._value(literal) is not False:
+                return (0, 0)
+            return (1, -pos_of[abs(literal)])
+
+        ranked = sorted(range(len(lits)), key=rank)
+        a, b = ranked[0], ranked[1]
+        new0, new1 = lits[a], lits[b]
+        if (new0, new1) in (old_watch, (old_watch[1], old_watch[0])):
+            return
+        for watched in set(old_watch):
+            entries = self._watches.get(watched, [])
+            if index in entries:
+                entries.remove(index)
+        reordered = [new0, new1] + [l for k, l in enumerate(lits) if k not in (a, b)]
+        self.clauses[index] = reordered
+        self._watches.setdefault(new0, []).append(index)
+        self._watches.setdefault(new1, []).append(index)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _assert_units(self) -> bool:
+        """Assert every root unit; ``False`` on an immediate contradiction."""
+        for literal in list(self._units):
+            value = self._value(literal)
+            if value is False:
+                return False
+            if value is None:
+                self._assign(literal, is_decision=False)
+        return True
+
+    def _restart(self) -> None:
+        """Clear the search state; the clause database and activities stay."""
+        for entry in self.trail:
+            self._value_of[abs(entry[0])] = None
+        self.trail = []
+        self._prop_head = 0
+        self._true_atoms = set()
+        self._pending_recheck.clear()
+
+    def solve(
+        self,
+        deadline: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+    ) -> Tuple[str, Optional[Dict[int, bool]]]:
+        """Run the search; returns ``("sat", model)`` or ``("unsat", None)``.
+
+        The search restarts from the root but keeps all clauses (including
+        the ones learned in earlier calls) and the variable activities.
         Raises :class:`ResourceLimit` when the conflict or time budget is
         exhausted.
         """
+        deadline = self.deadline if deadline is None else deadline
+        budget = self.max_conflicts if max_conflicts is None else max_conflicts
+        conflicts_at_start = self.stats.conflicts
+        self.stats.restarts += 1
+        self._restart()
+        if not self._assert_units():
+            return "unsat", None
+
+        def over_budget() -> bool:
+            return self.stats.conflicts - conflicts_at_start > budget
+
         while True:
-            if self.deadline is not None and time.monotonic() > self.deadline:
+            if deadline is not None and time.monotonic() > deadline:
                 raise ResourceLimit("SAT search exceeded the time budget")
 
-            conflict = self._propagate()
+            if self.request_restart:
+                self.request_restart = False
+                self.stats.restarts += 1
+                self._restart()
+                if not self._assert_units():
+                    return "unsat", None
+
+            conflict = self._apply_recheck()
+            if conflict is None:
+                conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
-                if self.stats.conflicts > self.max_conflicts:
+                self._on_conflict_clause(conflict)
+                if over_budget():
                     raise ResourceLimit("SAT search exceeded the conflict budget")
                 if not self._backtrack():
                     return "unsat", None
@@ -167,33 +548,32 @@ class DpllSolver:
             # Theory consistency of the currently-true atoms (cheap check).
             if self.theory_callback is not None and self.theory_atoms:
                 self.stats.theory_checks += 1
-                clause = self.theory_callback(self._true_theory_atoms(), False)
+                clause = self.theory_callback(set(self._true_atoms), False)
                 if clause is not None:
-                    self.clauses.append(tuple(clause))
-                    self.stats.learned_clauses += 1
                     self.stats.conflicts += 1
-                    if self.stats.conflicts > self.max_conflicts:
+                    if over_budget():
                         raise ResourceLimit("SAT search exceeded the conflict budget")
-                    if not self._backtrack():
+                    if not self._learn(tuple(clause)):
                         return "unsat", None
                     continue
 
-            branch_var = self._pick_branch_variable()
+            branch_var = self._decide_var()
             if branch_var is None:
                 # Complete assignment: run the full (integer) theory check.
                 if self.theory_callback is not None:
                     self.stats.theory_checks += 1
-                    clause = self.theory_callback(self._true_theory_atoms(), True)
+                    clause = self.theory_callback(set(self._true_atoms), True)
                     if clause is not None:
-                        self.clauses.append(tuple(clause))
-                        self.stats.learned_clauses += 1
                         self.stats.conflicts += 1
-                        if self.stats.conflicts > self.max_conflicts:
+                        if over_budget():
                             raise ResourceLimit("SAT search exceeded the conflict budget")
-                        if not self._backtrack():
+                        if not self._learn(tuple(clause)):
                             return "unsat", None
                         continue
                 return "sat", dict(self.assignment)
 
             self.stats.decisions += 1
-            self._assign(branch_var, is_decision=True)
+            if self.negative_atom_phase and branch_var in self.theory_atoms:
+                self._assign(-branch_var, is_decision=True)
+            else:
+                self._assign(branch_var, is_decision=True)

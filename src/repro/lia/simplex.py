@@ -8,6 +8,15 @@ keeps basic variables expressed as linear combinations of non-basic ones and
 the ``check`` procedure repairs bound violations by pivoting (Bland's rule
 guarantees termination).
 
+The solver is *incremental* in the DPLL(T) discipline of the paper: bound
+assertions are backtrackable via :meth:`Simplex.push` / :meth:`Simplex.pop`
+while the tableau rows, the slack-variable cache and the current (last
+feasible) basis survive — asserting and retracting bounds never rebuilds the
+tableau, and a re-``check`` after small bound changes starts from the warm
+basis.  :meth:`Simplex.prepare` registers a constraint's linear form (row
+creation only) and returns a bound handle that can be asserted cheaply with
+:meth:`Simplex.assert_bound` on every theory check.
+
 All arithmetic uses :class:`fractions.Fraction`, so results are exact.
 """
 
@@ -76,9 +85,46 @@ class Simplex:
         # Tableau: basic variable -> {nonbasic variable -> coefficient}.
         self._rows: Dict[str, Dict[str, Fraction]] = {}
         self._basic: Set[str] = set()
+        #: column index: non-basic variable -> basic rows whose row mentions
+        #: it (keeps pivoting and assignment updates proportional to the
+        #: column size instead of the whole tableau)
+        self._cols: Dict[str, Set[str]] = {}
         self._slack_index = 0
         # Reuse slack variables for syntactically identical linear forms.
         self._slack_cache: Dict[Tuple, str] = {}
+        # Backtracking: scope markers into the bound-restoration trail.
+        self._scopes: List[int] = []
+        self._undo: List[Tuple[str, str, Optional[Fraction], object]] = []
+        #: number of pivot operations performed (benchmark statistic)
+        self.pivots = 0
+        #: non-zero tableau entries (fill-in tracking; see _maybe_reset_basis)
+        self._nnz = 0
+        #: non-zeros right after the last basis reset (the "fresh" density)
+        self._nnz_fresh = 0
+
+    # ------------------------------------------------------------------
+    # Backtrackable scopes
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        """Open a scope; bounds asserted after this call are retractable."""
+        self._scopes.append(len(self._undo))
+
+    def pop(self) -> None:
+        """Retract every bound asserted since the matching :meth:`push`.
+
+        Tableau rows, the slack cache and the current assignment (the warm
+        basis) are deliberately kept — a row without bounds is unconstrained,
+        so retracting the bounds alone restores the pre-push constraint set.
+        """
+        mark = self._scopes.pop()
+        while len(self._undo) > mark:
+            name, which, value, tag = self._undo.pop()
+            if which == "lower":
+                self._lower[name] = value
+                self._lower_tag[name] = tag
+            else:
+                self._upper[name] = value
+                self._upper_tag[name] = tag
 
     # ------------------------------------------------------------------
     # Construction
@@ -95,8 +141,16 @@ class Simplex:
         self._slack_index += 1
         return name
 
-    def add_constraint(self, constraint: Constraint) -> None:
-        """Register a constraint; call :meth:`check` afterwards."""
+    def prepare(self, constraint: Constraint) -> Tuple[str, str, Fraction]:
+        """Register the linear form of ``constraint`` without asserting it.
+
+        Creates (at most once per distinct linear form, via the slack cache)
+        the tableau row and returns a handle ``(variable, relation, value)``
+        that can be asserted later — and repeatedly — with
+        :meth:`assert_bound`.  This is the row-registration half of the
+        DPLL(T) simplex discipline: the theory solver registers every atom
+        once and then only toggles bounds per SAT-search state.
+        """
         expr = constraint.expr
         linear = LinExpr(expr.coeffs, 0)
         bound = Fraction(-expr.const)
@@ -112,8 +166,7 @@ class Simplex:
             relation = constraint.relation
             if coeff < 0 and relation in ("<=", ">="):
                 relation = ">=" if relation == "<=" else "<="
-            self._assert_bound(name, relation, value, constraint.tag)
-            return
+            return name, relation, value
 
         key = tuple(sorted((name, Fraction(coeff)) for name, coeff in linear.coeffs.items()))
         slack = self._slack_cache.get(key)
@@ -132,7 +185,11 @@ class Simplex:
                     resolved[name] = resolved.get(name, Fraction(0)) + coeff
             resolved = {name: coeff for name, coeff in resolved.items() if coeff != 0}
             self._rows[slack] = resolved
+            for name in resolved:
+                self._cols.setdefault(name, set()).add(slack)
             self._basic.add(slack)
+            self._nnz += len(resolved)
+            self._nnz_fresh += len(key)
             self._assignment[slack] = sum(
                 (
                     coeff * self._assignment[name]
@@ -141,18 +198,32 @@ class Simplex:
                 ),
                 Fraction(0),
             )
-        self._assert_bound(slack, constraint.relation, bound, constraint.tag)
+        return slack, constraint.relation, bound
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Register a constraint and assert its bound; then call :meth:`check`."""
+        name, relation, value = self.prepare(constraint)
+        self.assert_bound(name, relation, value, constraint.tag)
+
+    def assert_bound(self, name: str, relation: str, value: Fraction, tag: object) -> None:
+        """Assert a (prepared) bound; retractable when inside a scope."""
+        self._assert_bound(name, relation, value, tag)
 
     def _assert_bound(self, name: str, relation: str, value: Fraction, tag: object) -> None:
         value = Fraction(value)
+        record = bool(self._scopes)
         if relation in ("<=", "=="):
             current = self._upper[name]
             if current is None or value < current:
+                if record:
+                    self._undo.append((name, "upper", current, self._upper_tag.get(name)))
                 self._upper[name] = value
                 self._upper_tag[name] = tag
         if relation in (">=", "=="):
             current = self._lower[name]
             if current is None or value > current:
+                if record:
+                    self._undo.append((name, "lower", current, self._lower_tag.get(name)))
                 self._lower[name] = value
                 self._lower_tag[name] = tag
 
@@ -172,43 +243,85 @@ class Simplex:
         if delta == 0:
             return
         self._assignment[name] = value
-        for basic, row in self._rows.items():
-            coeff = row.get(name)
-            if coeff:
-                self._assignment[basic] += coeff * delta
+        for basic in self._cols.get(name, ()):
+            self._assignment[basic] += self._rows[basic][name] * delta
 
     def _pivot(self, basic: str, nonbasic: str) -> None:
+        self.pivots += 1
         row = self._rows.pop(basic)
+        self._nnz -= len(row)
+        for name in row:
+            self._cols[name].discard(basic)
         self._basic.discard(basic)
         coeff = row[nonbasic]
         # nonbasic = (basic - sum_{k != nonbasic} a_k x_k) / coeff
         new_row: Dict[str, Fraction] = {basic: Fraction(1) / coeff}
         for name, a in row.items():
-            if name != nonbasic:
+            if name != nonbasic and a:
                 new_row[name] = -a / coeff
-        self._rows[nonbasic] = {k: v for k, v in new_row.items() if v != 0}
+        self._rows[nonbasic] = new_row
+        self._nnz += len(new_row)
+        for name in new_row:
+            self._cols.setdefault(name, set()).add(nonbasic)
         self._basic.add(nonbasic)
-        # Substitute into the remaining rows.
-        for other, other_row in self._rows.items():
+        # Substitute into the remaining rows that mention ``nonbasic``.
+        for other in list(self._cols.get(nonbasic, ())):
             if other == nonbasic:
                 continue
+            other_row = self._rows[other]
             a = other_row.pop(nonbasic, None)
-            if a:
-                for name, b in self._rows[nonbasic].items():
-                    other_row[name] = other_row.get(name, Fraction(0)) + a * b
-                self._rows[other] = {k: v for k, v in other_row.items() if v != 0}
+            self._cols[nonbasic].discard(other)
+            if not a:
+                continue
+            self._nnz -= 1
+            for name, b in new_row.items():
+                updated = other_row.get(name, 0) + a * b
+                if updated:
+                    if name not in other_row:
+                        self._cols.setdefault(name, set()).add(other)
+                        self._nnz += 1
+                    other_row[name] = updated
+                else:
+                    if name in other_row:
+                        del other_row[name]
+                        self._cols[name].discard(other)
+                        self._nnz -= 1
 
     def _pivot_and_update(self, basic: str, nonbasic: str, target: Fraction) -> None:
         coeff = self._rows[basic][nonbasic]
         theta = (target - self._assignment[basic]) / coeff
         self._assignment[basic] = target
         self._assignment[nonbasic] += theta
-        for other, row in self._rows.items():
+        for other in self._cols.get(nonbasic, ()):
             if other != basic:
-                a = row.get(nonbasic)
-                if a:
-                    self._assignment[other] += a * theta
+                self._assignment[other] += self._rows[other][nonbasic] * theta
         self._pivot(basic, nonbasic)
+
+    def _maybe_reset_basis(self) -> None:
+        """Rebuild the tableau from the original slack definitions on fill-in.
+
+        A long-lived basis accumulates dense rows (every pivot substitutes
+        one row into many); once the tableau holds several times the
+        non-zeros of the original constraint rows, pivoting costs more than
+        the warm basis saves.  Resetting makes every slack basic again with
+        its original (sparse) defining row — the constraint system is
+        unchanged, only the feasible-point search restarts from zero.
+        """
+        if self._nnz <= max(2000, 4 * self._nnz_fresh):
+            return
+        self._rows = {}
+        self._cols = {}
+        self._basic = set()
+        for name in self._assignment:
+            self._assignment[name] = Fraction(0)
+        for key, slack in self._slack_cache.items():
+            row = {name: Fraction(coeff) for name, coeff in key}
+            self._rows[slack] = row
+            for name in row:
+                self._cols.setdefault(name, set()).add(slack)
+            self._basic.add(slack)
+        self._nnz = sum(len(row) for row in self._rows.values())
+        self._nnz_fresh = self._nnz
 
     def _check_fixed_bounds(self) -> Optional[SimplexResult]:
         """Detect immediately contradictory bounds ``lower > upper``."""
@@ -219,13 +332,16 @@ class Simplex:
                 return SimplexResult(False, conflict={tag for tag in conflict if tag is not None})
         return None
 
-    def check(self, max_pivots: int = 100000) -> SimplexResult:
+    def check(self, max_pivots: int = 100000, want_model: bool = True) -> SimplexResult:
         """Decide feasibility over the rationals.
 
         Returns a :class:`SimplexResult`; when infeasible, ``conflict``
         contains the tags of constraints participating in the conflict (a
-        superset of a minimal core).
+        superset of a minimal core).  ``want_model=False`` skips building
+        the model dictionary — callers that only need the verdict (the
+        DPLL(T) partial checks) save a full pass over the variables.
         """
+        self._maybe_reset_basis()
         contradiction = self._check_fixed_bounds()
         if contradiction is not None:
             return contradiction
@@ -251,6 +367,8 @@ class Simplex:
                     violating = name
                     break
             if violating is None:
+                if not want_model:
+                    return SimplexResult(True)
                 model = {name: self._assignment[name] for name in self._order}
                 return SimplexResult(True, model=model)
 

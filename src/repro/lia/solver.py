@@ -2,18 +2,44 @@
 
 This is the reproduction's analogue of "Z3's internal LIA solver based on the
 Simplex method extended with a branch-and-cut strategy" used by Z3-Noodler
-(§8).  The pipeline is:
+(§8) — rebuilt around an **incremental assertion-stack API** because the
+solver's dominant workload is the solve–refine loop of model-based quantifier
+instantiation (§6.4): the same large formula is re-checked dozens of times
+with one small lemma added per round.
 
-1. :func:`repro.lia.nnf.to_nnf` — negations are eliminated, the formula
-   becomes monotone in its atoms,
-2. :func:`repro.lia.cnf.to_cnf` — Tseitin/Plaisted-Greenbaum clauses,
-3. :class:`repro.lia.sat.DpllSolver` — boolean search with a theory hook,
-4. theory hook — rational simplex for pruning, branch-and-bound integer
-   feasibility on complete assignments (:mod:`repro.lia.intsolver`).
+Incremental architecture (what survives between :meth:`LiaSolver.check`
+calls on the same assertion stack):
 
-All variables are interpreted over the integers.  Results are reported as
-:class:`LiaStatus` (``SAT`` / ``UNSAT`` / ``UNKNOWN``); the model accompanying
-a ``SAT`` verdict assigns an integer to every free variable of the formula.
+* the atom ↔ boolean-variable map and the Tseitin clause database
+  (:class:`repro.lia.cnf.CnfBuilder` — structural caching means a new lemma
+  only emits its genuinely new clauses),
+* the SAT engine (:class:`repro.lia.sat.DpllSolver` — watched literals,
+  variable activities and *learned theory clauses* are retained; a new
+  check restarts the search, it does not restart the learning),
+* the theory state: one persistent :class:`repro.lia.simplex.Simplex` whose
+  rows are registered once per atom and whose bounds are asserted and
+  retracted per theory check (the Dutertre–de Moura DPLL(T) discipline),
+  plus the cache of known-feasible atom sets,
+* the presolve substitution: defining equalities are eliminated when first
+  asserted and the substitution chain is applied to every later assertion,
+  so lemmas mentioning eliminated variables are rewritten instead of
+  re-introducing them.
+
+``push()`` / ``pop()`` manage assertion-stack levels: ``pop`` retracts the
+root-level unit assertions, the substitutions and the trivial-verdict flags
+of the popped level while keeping atom definitions and learned theory
+clauses (which are level-independent consequences of the atom semantics).
+
+The classic one-shot ``check(formula)`` entry point is preserved and runs a
+fresh context per call, so existing callers keep their exact semantics.
+
+Pipeline per assertion: :func:`repro.lia.simplify.eliminate_equalities`
+(presolve) → :func:`repro.lia.nnf.to_nnf` → :class:`CnfBuilder` →
+:class:`DpllSolver` with the rational-simplex / branch-and-bound theory hook
+(:mod:`repro.lia.intsolver`).  All variables are interpreted over the
+integers.  Results are reported as :class:`LiaStatus` (``SAT`` / ``UNSAT`` /
+``UNKNOWN``); the model accompanying a ``SAT`` verdict assigns an integer to
+every free variable of the asserted formulae.
 """
 
 from __future__ import annotations
@@ -21,15 +47,21 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from .cnf import to_cnf
-from .intsolver import ResourceLimit, check_integer_feasibility, check_rational_feasibility
+from .cnf import CnfBuilder
+from .intsolver import (
+    ResourceLimit,
+    _eliminate_equalities_over_z,
+    _flatten_tags,
+    check_integer_feasibility,
+    check_rational_feasibility,
+)
 from .nnf import to_nnf
 from .sat import DpllSolver
 from .simplify import complete_model, eliminate_equalities
-from .simplex import Constraint
-from .terms import Eq, Formula, Le, evaluate
+from .simplex import Constraint, Simplex
+from .terms import BoolConst, Formula, Le, LinExpr, conj, evaluate, substitute
 
 
 class LiaStatus(Enum):
@@ -65,6 +97,8 @@ class LiaResult:
     decisions: int = 0
     theory_checks: int = 0
     reason: str = ""
+    #: per-check performance counters (propagations, pivots, cache hits, ...)
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def is_sat(self) -> bool:
@@ -101,161 +135,476 @@ class LiaConfig:
     partial_check_period: int = 1
 
 
+@dataclass
+class _Level:
+    """One assertion-stack frame of the incremental context."""
+
+    units: List[int] = field(default_factory=list)
+    eliminated_mark: int = 0
+    var_mark: int = 0
+    false: bool = False
+    unsupported: str = ""
+    #: canonical keys of theory clauses strengthened with root-forced atoms
+    #: of this level (retracted on pop — see ``_Context._strengthen_core``)
+    strengthened: List[Tuple[int, ...]] = field(default_factory=list)
+
+
+class _Context:
+    """The persistent state behind one assertion stack."""
+
+    def __init__(self, config: LiaConfig) -> None:
+        self.config = config
+        self.cnf = CnfBuilder()
+        self.theory_atoms: Set[int] = set()
+        self.sat = DpllSolver(
+            num_vars=0,
+            clauses=(),
+            theory_atoms=self.theory_atoms,
+            theory_callback=self._theory_callback,
+            max_conflicts=config.max_conflicts,
+        )
+        self.theory = Simplex()
+        #: atom boolean variable -> (simplex variable, relation, bound)
+        self._atom_handle: Dict[int, Tuple[str, str, object]] = {}
+        #: atom boolean variable -> reusable Constraint (for integer checks)
+        self._atom_constraint: Dict[int, Constraint] = {}
+        self._clause_watermark = 0
+
+        self.levels: List[_Level] = [_Level()]
+        self.pending: List[Formula] = []
+        self.eliminated: List[Tuple[str, LinExpr]] = []
+        self._encoded_vars: Set[str] = set()
+        self._var_list: List[str] = []
+        self._var_set: Set[str] = set()
+
+        self._feasible_sets: List[frozenset] = []
+        self._partial_calls = 0
+        self._gave_up = False
+        #: integer-sensitive instance detected (a complete assignment was
+        #: rationally feasible yet integer-infeasible): partial checks then
+        #: additionally run the equality-elimination parity pass, which is
+        #: what refutes gcd/divisibility conflicts long before the search
+        #: completes an assignment
+        self._int_prune = False
+        self._deadline: Optional[float] = None
+        self._last_model: Dict[str, int] = {}
+        self._int_pivots = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Assertion stack
+    # ------------------------------------------------------------------
+    def push(self) -> None:
+        self._flush()
+        self.levels.append(
+            _Level(eliminated_mark=len(self.eliminated), var_mark=len(self._var_list))
+        )
+
+    def pop(self) -> None:
+        if len(self.levels) == 1:
+            raise IndexError("pop from the base assertion level")
+        level = self.levels.pop()
+        self.pending.clear()
+        for literal in level.units:
+            self.sat.remove_unit(literal)
+        for key in level.strengthened:
+            self.sat.retract_clause_key(key)
+        del self.eliminated[level.eliminated_mark :]
+        for name in self._var_list[level.var_mark :]:
+            self._var_set.discard(name)
+        del self._var_list[level.var_mark :]
+
+    def add_assertion(self, formula: Formula) -> None:
+        self.pending.append(formula)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _apply_subst(self, formula: Formula) -> Formula:
+        """Rewrite eliminated variables away (in elimination order)."""
+        if not self.eliminated:
+            return formula
+        names = set(formula.variables())
+        for name, definition in self.eliminated:
+            if name in names:
+                formula = substitute(formula, {name: definition})
+                names.discard(name)
+                names.update(definition.coeffs)
+        return formula
+
+    def _flush(self) -> None:
+        """Encode the pending assertions of the current level."""
+        if not self.pending:
+            return
+        level = self.levels[-1]
+        for formula in self.pending:
+            for name in formula.variables():
+                if name not in self._var_set:
+                    self._var_set.add(name)
+                    self._var_list.append(name)
+        combined = conj([self._apply_subst(formula) for formula in self.pending])
+        self.pending.clear()
+
+        if self.config.presolve and not isinstance(combined, BoolConst):
+            combined, eliminated = eliminate_equalities(
+                combined, protected=self._encoded_vars
+            )
+            self.eliminated.extend(eliminated)
+
+        if isinstance(combined, BoolConst):
+            if not combined.value:
+                level.false = True
+            return
+
+        try:
+            nnf = to_nnf(combined)
+        except TypeError as error:
+            level.unsupported = f"unsupported formula: {error}"
+            return
+        if isinstance(nnf, BoolConst):
+            if not nnf.value:
+                level.false = True
+            return
+
+        self._encoded_vars.update(combined.variables())
+        root = self.cnf.add_formula(nnf)
+        self._sync_sat()
+        if root is not None and self.sat.add_clause((root,)):
+            level.units.append(root)
+
+    def _sync_sat(self) -> None:
+        """Hand new clauses and atoms over to the SAT engine and the theory."""
+        self.sat.ensure_vars(self.cnf.num_vars)
+        clauses = self.cnf.clauses
+        while self._clause_watermark < len(clauses):
+            self.sat.add_clause(clauses[self._clause_watermark])
+            self._clause_watermark += 1
+        for var, atom in self.cnf.atom_of_var.items():
+            if var in self._atom_handle:
+                continue
+            relation = "<=" if isinstance(atom, Le) else "=="
+            constraint = Constraint(atom.expr, relation, tag=var)
+            self._atom_constraint[var] = constraint
+            self._atom_handle[var] = self.theory.prepare(constraint)
+            self.theory_atoms.add(var)
+
+    # ------------------------------------------------------------------
+    # Theory hook
+    # ------------------------------------------------------------------
+    def _theory_callback(self, true_atoms: Set[int], final: bool):
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise ResourceLimit("LIA solving exceeded the time budget")
+        if not final:
+            if not self.config.partial_theory_checks or not true_atoms:
+                return None
+            # Rational feasibility is monotone: a subset of a feasible set
+            # of atoms is feasible, so cached supersets let us skip checks.
+            if any(true_atoms <= cached for cached in self._feasible_sets):
+                self._cache_hits += 1
+                return None
+            self._partial_calls += 1
+            if self.config.partial_check_period > 1 and (
+                self._partial_calls % self.config.partial_check_period
+            ):
+                return None
+            self.theory.push()
+            try:
+                for var in true_atoms:
+                    name, relation, value = self._atom_handle[var]
+                    self.theory.assert_bound(name, relation, value, var)
+                result = self.theory.check(want_model=False)
+            finally:
+                self.theory.pop()
+            if result.feasible:
+                if self._int_prune:
+                    reduced, _defs, tags = _eliminate_equalities_over_z(
+                        [self._atom_constraint[var] for var in sorted(true_atoms)]
+                    )
+                    if reduced is None:
+                        conflict_vars = {
+                            tag for tag in _flatten_tags(tags) if isinstance(tag, int)
+                        } or set(true_atoms)
+                        conflict_vars = self._strengthen_core(
+                            self._minimize_core(conflict_vars)
+                        )
+                        return tuple(-var for var in sorted(conflict_vars))
+                self._feasible_sets.append(frozenset(true_atoms))
+                if len(self._feasible_sets) > self.config.feasible_cache_size:
+                    self._feasible_sets.pop(0)
+                return None
+            conflict_vars = {tag for tag in result.conflict if isinstance(tag, int)}
+            if not conflict_vars:
+                conflict_vars = set(true_atoms)
+            conflict_vars = self._minimize_core(conflict_vars)
+            conflict_vars = self._strengthen_core(conflict_vars)
+            return tuple(-var for var in sorted(conflict_vars))
+
+        constraints = [self._atom_constraint[var] for var in sorted(true_atoms)]
+        try:
+            outcome = check_integer_feasibility(
+                constraints,
+                integer_vars=None,
+                max_nodes=self.config.branch_and_bound_nodes,
+                deadline=self._deadline,
+            )
+        except ResourceLimit:
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                raise
+            # Branch-and-bound could not decide this boolean assignment.
+            # Block it and remember that an UNSAT verdict is no longer
+            # trustworthy (results become UNKNOWN from here on).
+            self._gave_up = True
+            if not true_atoms:
+                return tuple()
+            return tuple(-var for var in sorted(true_atoms))
+        self._int_pivots += outcome.pivots
+        if outcome.feasible:
+            self._last_model = outcome.model or {}
+            return None
+        if not self._int_prune:
+            # The complete assignment passed every rational check yet is
+            # integer-infeasible: enable parity pruning at partial level,
+            # drop the (rational-only) feasibility cache and flip the SAT
+            # decision phase so future complete assignments assert as few
+            # atoms as possible.
+            self._int_prune = True
+            self._feasible_sets.clear()
+            self.sat.negative_atom_phase = True
+            # Restarting (with all learned clauses kept) lets the new phase
+            # take effect from the root instead of only below the current
+            # decision prefix.
+            self.sat.request_restart = True
+        conflict_vars = {tag for tag in (outcome.conflict or set()) if isinstance(tag, int)}
+        if not conflict_vars:
+            conflict_vars = set(true_atoms)
+        if not conflict_vars:
+            # No true atoms at all yet the theory failed — cannot happen,
+            # but guard against an empty (always-false) clause.
+            return tuple()
+        conflict_vars = self._minimize_core(conflict_vars)
+        conflict_vars = self._strengthen_core(conflict_vars)
+        return tuple(-var for var in sorted(conflict_vars))
+
+    def _strengthen_core(self, core: Set[int]) -> Set[int]:
+        """Drop atoms from a conflict core that are forced true at the root.
+
+        Tag-automaton encodings force a large share of their atoms (Kirchhoff
+        flow equalities, fixed counters) through unit propagation alone, and
+        such atoms bloat every theory conflict: a learned clause
+        ``¬a ∨ ¬b`` with ``a`` root-forced is equivalent to ``¬b`` under the
+        current assertions, but prunes exponentially less of the boolean
+        search space.  The strengthened clause is only valid while the units
+        that force those atoms are asserted, so when the current level is not
+        the base level its canonical key is recorded for retraction on
+        ``pop``.  An empty result means the root-forced atoms themselves are
+        theory-inconsistent: the callback then returns the empty clause and
+        the check correctly reports UNSAT for the current stack.
+        """
+        if not core:
+            return core
+        forced: Set[int] = set()
+        for literal, is_decision, _tried in self.sat.trail:
+            if is_decision:
+                break
+            if literal > 0 and literal in core:
+                forced.add(literal)
+        if not forced:
+            return core
+        strengthened = core - forced
+        if len(self.levels) > 1:
+            key = tuple(sorted(-var for var in strengthened))
+            self.levels[-1].strengthened.append(key)
+        return strengthened
+
+    def _minimize_core(self, core: Set[int]) -> Set[int]:
+        """Greedily shrink a conflict core by deletion testing.
+
+        A learned theory clause is exponentially more useful the fewer
+        literals it has, and the cores reported by the warm-started simplex
+        (whose tableau rows are arbitrary accumulated linear combinations)
+        are sound but rarely minimal.  Each candidate atom is dropped when
+        the remaining set is still rationally infeasible on a fresh, small
+        simplex; integer-only cores pass through unchanged (every rational
+        test is feasible, so nothing is dropped).  The result is always a
+        subset of ``core`` and still jointly infeasible, so the learned
+        clause stays sound.
+        """
+        if len(core) <= 2 or len(core) > 64:
+            return core
+        atoms = sorted(core)
+        refutation = check_rational_feasibility(
+            [self._atom_constraint[var] for var in atoms]
+        )
+        if not refutation.feasible:
+            # Rationally refutable: the refutation's own conflict narrows the
+            # core for free; greedy deletion tests then polish, re-using each
+            # failed test's conflict to jump over several atoms at once.  The
+            # test budget keeps minimisation from dominating easy instances.
+            narrowed = {tag for tag in refutation.conflict if isinstance(tag, int)}
+            if narrowed and len(narrowed) < len(atoms):
+                atoms = sorted(narrowed)
+            budget = 12
+            position = 0
+            while position < len(atoms) and budget > 0 and len(atoms) > 2:
+                var = atoms[position]
+                rest = [self._atom_constraint[other] for other in atoms if other != var]
+                budget -= 1
+                outcome = check_rational_feasibility(rest)
+                if outcome.feasible:
+                    position += 1
+                    continue
+                shrunk = {tag for tag in outcome.conflict if isinstance(tag, int)}
+                if shrunk and len(shrunk) < len(atoms) - 1:
+                    atoms = sorted(shrunk)
+                    position = 0
+                else:
+                    atoms.remove(var)
+            return set(atoms)
+        # Integer-only conflict (divisibility/parity): deletion-test with the
+        # polynomial equality-elimination pass alone — branch-and-bound
+        # deletion tests diverge on exactly these cores.  A subset the
+        # elimination cannot refute keeps its atom (conservative).
+        if len(atoms) > 16:
+            return set(atoms)
+        for var in list(atoms):
+            if len(atoms) <= 2:
+                break
+            rest = [self._atom_constraint[other] for other in atoms if other != var]
+            reduced, _defs, _tags = _eliminate_equalities_over_z(rest)
+            if reduced is None:
+                atoms.remove(var)
+        return set(atoms)
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def _stats_snapshot(self) -> Dict[str, int]:
+        sat = self.sat.stats
+        return {
+            "decisions": sat.decisions,
+            "propagations": sat.propagations,
+            "conflicts": sat.conflicts,
+            "theory_checks": sat.theory_checks,
+            "learned_clauses": sat.learned_clauses,
+            "restarts": sat.restarts,
+            "pivots": self.theory.pivots + self._int_pivots,
+            "cache_hits": self._cache_hits + self.cnf.cache_hits,
+            "duplicate_clauses": sat.duplicate_clauses + self.cnf.duplicate_clauses,
+        }
+
+    def check(self, deadline: Optional[float] = None) -> LiaResult:
+        if deadline is None and self.config.timeout is not None:
+            deadline = time.monotonic() + self.config.timeout
+        before = self._stats_snapshot()
+
+        def result(status: LiaStatus, model: Optional[LiaModel] = None, reason: str = "") -> LiaResult:
+            after = self._stats_snapshot()
+            stats = {key: after[key] - before[key] for key in after}
+            return LiaResult(
+                status,
+                model=model,
+                decisions=stats["decisions"],
+                theory_checks=stats["theory_checks"],
+                reason=reason,
+                stats=stats,
+            )
+
+        self._flush()
+        for level in self.levels:
+            if level.false:
+                return result(LiaStatus.UNSAT)
+        for level in self.levels:
+            if level.unsupported:
+                return result(LiaStatus.UNKNOWN, reason=level.unsupported)
+
+        self._deadline = deadline
+        try:
+            verdict, _boolean_model = self.sat.solve(
+                deadline=deadline, max_conflicts=self.config.max_conflicts
+            )
+        except ResourceLimit as error:
+            return result(LiaStatus.UNKNOWN, reason=str(error))
+        finally:
+            self._deadline = None
+
+        if verdict == "unsat":
+            if self._gave_up:
+                return result(
+                    LiaStatus.UNKNOWN,
+                    reason="branch-and-bound budget exhausted on some boolean assignment",
+                )
+            return result(LiaStatus.UNSAT)
+
+        model = LiaModel(dict(self._last_model))
+        model.values = complete_model(model.values, self.eliminated)
+        for name in self._var_set:
+            model.values.setdefault(name, 0)
+        return result(LiaStatus.SAT, model=model)
+
+
 class LiaSolver:
-    """Facade deciding quantifier-free LIA formulae over integer variables."""
+    """Facade deciding quantifier-free LIA formulae over integer variables.
+
+    Two usage styles are supported:
+
+    * **one-shot** — ``LiaSolver().check(formula)`` decides a single formula
+      (a fresh context per call, the historical behaviour), and
+    * **incremental** — ``add_assertion`` / ``push`` / ``pop`` maintain an
+      assertion stack; ``check()`` decides the conjunction of every active
+      assertion while keeping the encoder, SAT engine and theory state warm
+      across calls (see the module docstring).
+
+    ``check(formula)`` on a solver that already holds assertions is a scoped
+    convenience: the formula is checked together with the current stack
+    inside an implicit ``push``/``pop``.
+    """
 
     def __init__(self, config: Optional[LiaConfig] = None) -> None:
         self.config = config or LiaConfig()
+        self._ctx: Optional[_Context] = None
 
     # ------------------------------------------------------------------
-    def check(self, formula: Formula, deadline: Optional[float] = None) -> LiaResult:
-        """Decide satisfiability of ``formula``.
+    def _context(self) -> _Context:
+        if self._ctx is None:
+            self._ctx = _Context(self.config)
+        return self._ctx
+
+    def push(self) -> None:
+        """Open a new assertion-stack level."""
+        self._context().push()
+
+    def pop(self) -> None:
+        """Drop the most recent assertion-stack level."""
+        self._context().pop()
+
+    def add_assertion(self, formula: Formula) -> None:
+        """Assert ``formula`` at the current level (encoded lazily on check)."""
+        self._context().add_assertion(formula)
+
+    def reset(self) -> None:
+        """Drop the whole assertion stack and every cached solver state."""
+        self._ctx = None
+
+    # ------------------------------------------------------------------
+    def check(self, formula: Optional[Formula] = None, deadline: Optional[float] = None) -> LiaResult:
+        """Decide satisfiability of the assertion stack (plus ``formula``).
 
         ``deadline`` (an absolute :func:`time.monotonic` value) takes
         precedence over ``config.timeout``.
         """
-        if deadline is None and self.config.timeout is not None:
-            deadline = time.monotonic() + self.config.timeout
-
-        eliminated = []
-        working = formula
-        if self.config.presolve:
-            working, eliminated = eliminate_equalities(working)
-
-        try:
-            nnf = to_nnf(working)
-        except TypeError as error:
-            return LiaResult(LiaStatus.UNKNOWN, reason=f"unsupported formula: {error}")
-
-        cnf = to_cnf(nnf)
-        if cnf.trivially_true:
-            model = LiaModel()
-            model.values = complete_model(model.values, eliminated)
-            for name in formula.variables():
-                model.values.setdefault(name, 0)
-            return LiaResult(LiaStatus.SAT, model=model)
-        if cnf.trivially_false:
-            return LiaResult(LiaStatus.UNSAT)
-
-        atom_vars = set(cnf.atom_of_var)
-        last_model: Dict[str, int] = {}
-        feasible_sets: list = []
-        gave_up = [False]
-        partial_calls = [0]
-
-        def atoms_to_constraints(true_atoms: Set[int]) -> Sequence[Constraint]:
-            constraints = []
-            for var in true_atoms:
-                atom = cnf.atom_of_var[var]
-                relation = "<=" if isinstance(atom, Le) else "=="
-                constraints.append(Constraint(atom.expr, relation, tag=var))
-            return constraints
-
-        def theory_callback(true_atoms: Set[int], final: bool):
-            nonlocal last_model
-            if deadline is not None and time.monotonic() > deadline:
-                raise ResourceLimit("LIA solving exceeded the time budget")
-            if not final:
-                if not self.config.partial_theory_checks or not true_atoms:
-                    return None
-                # Rational feasibility is monotone: a subset of a feasible set
-                # of atoms is feasible, so cached supersets let us skip checks.
-                if any(true_atoms <= cached for cached in feasible_sets):
-                    return None
-                partial_calls[0] += 1
-                if self.config.partial_check_period > 1 and (
-                    partial_calls[0] % self.config.partial_check_period
-                ):
-                    return None
-                result = check_rational_feasibility(atoms_to_constraints(true_atoms))
-                if result.feasible:
-                    frozen = frozenset(true_atoms)
-                    feasible_sets.append(frozen)
-                    if len(feasible_sets) > self.config.feasible_cache_size:
-                        feasible_sets.pop(0)
-                    return None
-                conflict_vars = {tag for tag in result.conflict if isinstance(tag, int)}
-                if not conflict_vars:
-                    conflict_vars = set(true_atoms)
-                return tuple(-var for var in sorted(conflict_vars))
-
-            constraints = atoms_to_constraints(true_atoms)
+        if formula is not None:
+            if self._ctx is None:
+                context = _Context(self.config)
+                context.add_assertion(formula)
+                return context.check(deadline)
+            context = self._context()
+            context.push()
+            context.add_assertion(formula)
             try:
-                outcome = check_integer_feasibility(
-                    constraints,
-                    integer_vars=None,
-                    max_nodes=self.config.branch_and_bound_nodes,
-                    deadline=deadline,
-                )
-            except ResourceLimit:
-                if deadline is not None and time.monotonic() > deadline:
-                    raise
-                # Branch-and-bound could not decide this boolean assignment.
-                # Block it and remember that an UNSAT verdict is no longer
-                # trustworthy (the final result becomes UNKNOWN in that case).
-                gave_up[0] = True
-                if not true_atoms:
-                    return tuple()
-                return tuple(-var for var in sorted(true_atoms))
-            if outcome.feasible:
-                last_model = outcome.model or {}
-                return None
-            conflict_vars = {tag for tag in (outcome.conflict or set()) if isinstance(tag, int)}
-            if not conflict_vars:
-                conflict_vars = set(true_atoms)
-            if not conflict_vars:
-                # No true atoms at all yet the theory failed — cannot happen,
-                # but guard against an empty (always-false) clause.
-                return tuple()
-            return tuple(-var for var in sorted(conflict_vars))
-
-        solver = DpllSolver(
-            num_vars=cnf.num_vars,
-            clauses=cnf.clauses,
-            theory_atoms=atom_vars,
-            theory_callback=theory_callback,
-            deadline=deadline,
-            max_conflicts=self.config.max_conflicts,
-        )
-
-        try:
-            verdict, _boolean_model = solver.solve()
-        except ResourceLimit as error:
-            return LiaResult(
-                LiaStatus.UNKNOWN,
-                decisions=solver.stats.decisions,
-                theory_checks=solver.stats.theory_checks,
-                reason=str(error),
-            )
-
-        if verdict == "unsat":
-            if gave_up[0]:
-                return LiaResult(
-                    LiaStatus.UNKNOWN,
-                    decisions=solver.stats.decisions,
-                    theory_checks=solver.stats.theory_checks,
-                    reason="branch-and-bound budget exhausted on some boolean assignment",
-                )
-            return LiaResult(
-                LiaStatus.UNSAT,
-                decisions=solver.stats.decisions,
-                theory_checks=solver.stats.theory_checks,
-            )
-
-        model = LiaModel(dict(last_model))
-        # Default the remaining free variables of the reduced formula, then
-        # recover the eliminated (substituted-away) variables.
-        for name in working.variables():
-            model.values.setdefault(name, 0)
-        model.values = complete_model(model.values, eliminated)
-        for name in formula.variables():
-            model.values.setdefault(name, 0)
-        return LiaResult(
-            LiaStatus.SAT,
-            model=model,
-            decisions=solver.stats.decisions,
-            theory_checks=solver.stats.theory_checks,
-        )
+                return context.check(deadline)
+            finally:
+                context.pop()
+        return self._context().check(deadline)
 
 
 def is_satisfiable(formula: Formula, config: Optional[LiaConfig] = None) -> bool:

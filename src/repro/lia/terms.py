@@ -33,7 +33,7 @@ Number = Union[int, Fraction]
 class LinExpr:
     """An immutable linear expression with integer (or rational) coefficients."""
 
-    __slots__ = ("coeffs", "const")
+    __slots__ = ("coeffs", "const", "_key")
 
     def __init__(self, coeffs: Optional[Mapping[str, Number]] = None, const: Number = 0) -> None:
         cleaned: Dict[str, Number] = {}
@@ -43,6 +43,7 @@ class LinExpr:
                     cleaned[name] = coeff
         self.coeffs: Dict[str, Number] = cleaned
         self.const: Number = const
+        self._key: Optional[Tuple] = None
 
     # -- constructors ---------------------------------------------------
     @staticmethod
@@ -121,8 +122,15 @@ class LinExpr:
 
     # -- misc -------------------------------------------------------------
     def key(self) -> Tuple:
-        """A hashable canonical key (used for atom deduplication)."""
-        return (tuple(sorted(self.coeffs.items())), self.const)
+        """A hashable canonical key (used for atom deduplication).
+
+        The key is computed once and cached: atom deduplication in the
+        incremental CNF builder and slack-row reuse in the simplex hash the
+        same expressions over and over.
+        """
+        if self._key is None:
+            self._key = (tuple(sorted(self.coeffs.items())), self.const)
+        return self._key
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, LinExpr) and self.key() == other.key()

@@ -24,6 +24,11 @@ class SolverConfig:
     max_noodles: int = 256
     #: MBQI rounds for ¬contains (lemma instantiations per check)
     max_instantiation_rounds: int = 40
+    #: solve the MBQI refinement loop on one incremental LIA assertion stack
+    #: (push/add/check per lemma); ``False`` falls back to a from-scratch
+    #: ``LiaSolver.check`` per round (the seed behaviour, kept for perf
+    #: comparisons and differential testing)
+    incremental_lia: bool = True
     #: configuration of the underlying LIA solver
     lia: LiaConfig = field(default_factory=LiaConfig)
     #: verify every SAT model against the original problem (cheap, keeps the

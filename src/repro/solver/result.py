@@ -43,6 +43,9 @@ class SolveResult:
     branches_explored: int = 0
     #: number of LIA queries issued
     lia_queries: int = 0
+    #: aggregated SAT/simplex counters (decisions, propagations, conflicts,
+    #: theory_checks, learned_clauses, restarts, pivots, cache_hits, ...)
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def is_sat(self) -> bool:

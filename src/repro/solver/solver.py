@@ -66,6 +66,9 @@ class _Component:
     variables: Set[str] = field(default_factory=set)
     encoding: Optional[Encoding] = None
     encoders: List[Tuple[NotContains, Optional[NotContainsEncoder]]] = field(default_factory=list)
+    #: lazily computed, shared by every MBQI round of the branch (the base
+    #: transition counters of the master encoding never change across rounds)
+    master_counts: Optional[Dict[Tuple, LinExpr]] = None
 
 
 @dataclass
@@ -75,6 +78,7 @@ class _BranchOutcome:
     reason: str = ""
     lia_queries: int = 0
     exact: bool = True
+    stats: Dict[str, int] = field(default_factory=dict)
 
 
 class PositionSolver:
@@ -102,13 +106,19 @@ class PositionSolver:
         all_exact = decomposition.complete
         lia_queries = 0
         saw_unknown = False
+        stats: Dict[str, int] = {}
+
+        def merge_stats(delta: Dict[str, int]) -> None:
+            for key, value in delta.items():
+                stats[key] = stats.get(key, 0) + value
 
         for index, branch in enumerate(branches):
             if watch.expired():
                 return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason="timeout",
-                                   branches_explored=index, lia_queries=lia_queries)
+                                   branches_explored=index, lia_queries=lia_queries, stats=stats)
             outcome = self._solve_branch(problem, normal_form, branch, index, watch)
             lia_queries += outcome.lia_queries
+            merge_stats(outcome.stats)
             if outcome.status is Status.SAT:
                 return SolveResult(
                     Status.SAT,
@@ -116,10 +126,11 @@ class PositionSolver:
                     elapsed=watch.elapsed(),
                     branches_explored=index + 1,
                     lia_queries=lia_queries,
+                    stats=stats,
                 )
             if outcome.status is Status.TIMEOUT:
                 return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason=outcome.reason,
-                                   branches_explored=index + 1, lia_queries=lia_queries)
+                                   branches_explored=index + 1, lia_queries=lia_queries, stats=stats)
             if outcome.status is Status.UNKNOWN:
                 saw_unknown = True
             if not outcome.exact:
@@ -132,12 +143,14 @@ class PositionSolver:
                 reason="some branch could not be decided exactly",
                 branches_explored=len(branches),
                 lia_queries=lia_queries,
+                stats=stats,
             )
         return SolveResult(
             Status.UNSAT,
             elapsed=watch.elapsed(),
             branches_explored=len(branches),
             lia_queries=lia_queries,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------
@@ -320,19 +333,40 @@ class PositionSolver:
                     haystack = LinExpr.sum_of(component.encoding.length_of(n) for n in predicate.haystack)
                     parts.append(gt(needle, haystack))
 
+        # The MBQI refinement loop re-checks the same large conjunction with
+        # one small lemma added per round.  With ``incremental_lia`` the base
+        # parts are asserted once on an incremental solver and every round
+        # only encodes its new lemma (atom maps, Tseitin clauses, learned
+        # theory clauses and the simplex tableau survive across rounds).
         lemmas: List[LiaFormula] = []
         queries = 0
+        stats: Dict[str, int] = {}
+
+        def merge_stats(delta: Dict[str, int]) -> None:
+            for key, value in delta.items():
+                stats[key] = stats.get(key, 0) + value
+
+        incremental = self.config.incremental_lia
         solver = LiaSolver(self.config.lia)
+        if incremental:
+            solver.add_assertion(conj(parts))
         for _round in range(self.config.max_instantiation_rounds):
             if watch.expired():
-                return _BranchOutcome(Status.TIMEOUT, reason="timeout", lia_queries=queries, exact=exact)
+                return _BranchOutcome(Status.TIMEOUT, reason="timeout", lia_queries=queries,
+                                      exact=exact, stats=stats)
             queries += 1
-            result = solver.check(conj(parts + lemmas), deadline=watch.deadline)
+            if incremental:
+                result = solver.check(deadline=watch.deadline)
+            else:
+                solver = LiaSolver(self.config.lia)
+                result = solver.check(conj(parts + lemmas), deadline=watch.deadline)
+            merge_stats(result.stats)
             if result.status is LiaStatus.UNSAT:
-                return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact)
+                return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact, stats=stats)
             if result.status is LiaStatus.UNKNOWN:
                 status = Status.TIMEOUT if watch.expired() else Status.UNKNOWN
-                return _BranchOutcome(status, reason=result.reason, lia_queries=queries, exact=exact)
+                return _BranchOutcome(status, reason=result.reason, lia_queries=queries,
+                                      exact=exact, stats=stats)
 
             strings: Dict[str, str] = {}
             reconstruction_failed = False
@@ -345,7 +379,7 @@ class PositionSolver:
                 strings.update(extracted)
             if reconstruction_failed:
                 return _BranchOutcome(Status.UNKNOWN, reason="witness reconstruction failed",
-                                      lia_queries=queries, exact=False)
+                                      lia_queries=queries, exact=False, stats=stats)
             for name in remaining:
                 if name not in strings:
                     strings[name] = shortest_word(automata[name]) or ""
@@ -353,7 +387,6 @@ class PositionSolver:
             # MBQI refinement for ¬contains: evaluate on the candidate words.
             refinement_added = False
             for component in components:
-                master_counts = None
                 for predicate, encoder in component.encoders:
                     predicate_strings = {name: strings.get(name, "") for name in predicate.string_variables()}
                     offset = find_failing_offset(predicate, predicate_strings)
@@ -361,14 +394,17 @@ class PositionSolver:
                         continue
                     if encoder is None:
                         return _BranchOutcome(Status.UNKNOWN, reason="non-flat ¬contains counterexample",
-                                              lia_queries=queries, exact=False)
-                    if master_counts is None:
-                        master_counts = base_transition_counts(
+                                              lia_queries=queries, exact=False, stats=stats)
+                    if component.master_counts is None:
+                        component.master_counts = base_transition_counts(
                             component.encoding.parikh, component.encoding.info
                         )
-                    lemmas.append(
-                        encoder.instantiation_lemma(offset, master_counts, component.encoding.length_of)
+                    lemma = encoder.instantiation_lemma(
+                        offset, component.master_counts, component.encoding.length_of
                     )
+                    lemmas.append(lemma)
+                    if incremental:
+                        solver.add_assertion(lemma)
                     refinement_added = True
                     break
                 if refinement_added:
@@ -379,11 +415,11 @@ class PositionSolver:
             model = self._build_model(problem, normal_form, branch, strings, result.model)
             if self.config.verify_models and not eval_problem(problem, model.strings, model.integers):
                 return _BranchOutcome(Status.UNKNOWN, reason="model verification failed",
-                                      lia_queries=queries, exact=False)
-            return _BranchOutcome(Status.SAT, model=model, lia_queries=queries, exact=exact)
+                                      lia_queries=queries, exact=False, stats=stats)
+            return _BranchOutcome(Status.SAT, model=model, lia_queries=queries, exact=exact, stats=stats)
 
         return _BranchOutcome(Status.UNKNOWN, reason="instantiation budget exhausted",
-                              lia_queries=queries, exact=False)
+                              lia_queries=queries, exact=False, stats=stats)
 
     # ------------------------------------------------------------------
     def _build_model(

@@ -108,3 +108,22 @@ def test_reachable_and_coreachable():
     nfa.add_transition(c, "y", b)
     assert nfa.reachable_states() == {a, b}
     assert nfa.coreachable_states() == {a, b, c}
+
+
+def test_fresh_state_ids_never_collide():
+    nfa = Nfa()
+    nfa.add_state(5)
+    assert nfa.add_state() == 6
+    nfa.make_final(10)
+    assert nfa.add_state() == 11
+    nfa.add_transition(20, "a", 21)
+    fresh = nfa.add_state()
+    assert fresh == 22
+    assert fresh not in {5, 6, 10, 11, 20, 21}
+
+
+def test_fresh_state_ids_after_copy_and_trim():
+    nfa = Nfa.from_word("abc")
+    for derived in (nfa.copy(), nfa.trim(), nfa.renumbered(7)[0]):
+        fresh = derived.add_state()
+        assert fresh not in (derived.states - {fresh})
