@@ -1,12 +1,17 @@
 """Micro-benchmark harness for the incremental DPLL(T) LIA stack.
 
-Two workloads are timed:
+Three workloads are timed:
 
 * **mbqi** — ¬contains chains (one instantiation lemma per predicate, so a
   ``k``-chain drives ``k+1`` LIA queries through the solve–refine loop).
   Each instance is run twice: on the incremental assertion stack (the
   default) and in from-scratch mode (``SolverConfig.incremental_lia=False``,
   one fresh ``LiaSolver.check`` per round — the seed's behaviour).
+* **cuts** — commuting-disequality instances whose ``unsat`` verdicts need
+  the Gomory/Omega cutting planes of the integer core (sound
+  branch-and-bound alone diverges).  Any verdict disagreeing with the
+  ground truth counts as a wrong verdict and fails the gate — in quick CI
+  mode too.
 * **e2e** — the scaled-down end-to-end benchmark suite
   (:func:`repro.benchgen.suite.benchmark_sets`, scale 1) under the position
   solver with a 20 s per-instance timeout.
@@ -54,6 +59,12 @@ MBQI_TIMEOUT = 120.0
 MBQI_CHAINS = (4, 6, 8)
 #: benchmark sets of the quick e2e smoke (a subset that runs in ~a minute)
 QUICK_E2E_SETS = ("thefuck-like",)
+#: commuting-disequality instances of the cuts workload (quick mode runs
+#: only the first); both expect ``unsat`` via the cutting-plane core
+CUTS_INSTANCES = ("position-hard-comm-0", "position-hard-comm-3")
+#: per-instance timeout of the cuts workload (the acceptance bar is well
+#: below this; a timeout shows up as a non-``unsat`` status)
+CUTS_TIMEOUT = 25.0
 
 
 def _chain_problem(k: int):
@@ -116,6 +127,33 @@ def run_mbqi(baseline: Dict, quick: bool) -> Dict:
             f"{entry['lia_queries']} queries)"
         )
     return {"timeout": MBQI_TIMEOUT, "instances": instances}
+
+
+def run_cuts(quick: bool) -> Dict:
+    from repro.benchgen.position_hard import commuting_disequalities
+
+    wanted = CUTS_INSTANCES[:1] if quick else CUTS_INSTANCES
+    instances: Dict[str, Dict] = {}
+    wrong_verdicts = 0
+    for name, problem, expected in commuting_disequalities(4):
+        if name not in wanted:
+            continue
+        result, elapsed = _solve(problem, CUTS_TIMEOUT, incremental=True)
+        status = result.status.value
+        if expected is not None and result.solved and status != expected:
+            wrong_verdicts += 1
+        instances[name] = {
+            "status": status,
+            "expected": expected,
+            "seconds": round(elapsed, 3),
+            "stats": result.stats,
+        }
+        print(f"[cuts] {name}: {status} (expected {expected}) in {elapsed:.2f}s")
+    return {
+        "timeout": CUTS_TIMEOUT,
+        "wrong_verdicts": wrong_verdicts,
+        "instances": instances,
+    }
 
 
 def run_e2e(baseline: Dict, quick: bool) -> Dict:
@@ -196,6 +234,7 @@ def run(quick: bool = False, output: Optional[str] = None) -> Dict:
             "python": platform.python_version(),
         },
         "mbqi": run_mbqi(baseline, quick),
+        "cuts": run_cuts(quick),
         "e2e": run_e2e(baseline, quick),
     }
     path = output or DEFAULT_OUTPUT_PATH

@@ -3,7 +3,9 @@
 Selected with ``pytest -m bench`` (optionally ``--quick``); in a regular
 test run the module skips itself so the tier-1 suite stays fast.  In quick
 mode the measured times are gated against the committed ``BENCH_lia.json``:
-the job fails when the quick workload regresses by more than 25 %.
+the job fails when the quick workload regresses by more than 25 % — and,
+independently of timing, whenever any workload (the commuting-disequality
+cuts instances or the e2e suite) produces a wrong verdict.
 """
 
 import json
@@ -40,6 +42,15 @@ def test_bench_lia(bench_selected, tmp_path_factory):
     for name, entry in mbqi.items():
         assert entry["status"] == "sat", f"{name} no longer solves: {entry['status']}"
         assert entry["lia_queries"] >= 5, f"{name} stopped exercising the MBQI loop"
+
+    # Verdict gate (applies in quick mode too): any wrong verdict anywhere —
+    # the cuts workload or the e2e suite — fails the job outright.
+    cuts = report["cuts"]
+    assert cuts["wrong_verdicts"] == 0, cuts["instances"]
+    for name, entry in cuts["instances"].items():
+        assert entry["status"] == entry["expected"] == "unsat", (
+            f"{name} must be refuted by the cutting-plane core: {entry}"
+        )
     e2e = report["e2e"]
     assert e2e["wrong_verdicts"] == 0, e2e["verdict_changes"]
 

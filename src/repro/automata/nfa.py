@@ -31,13 +31,27 @@ class Nfa:
     ``state -> symbol -> set of successor states``.
     """
 
-    __slots__ = ("states", "initial", "final", "_delta", "_alphabet", "_next_state")
+    __slots__ = (
+        "states",
+        "initial",
+        "final",
+        "_delta",
+        "_by_symbol",
+        "_alphabet",
+        "_next_state",
+    )
 
     def __init__(self, alphabet: Optional[Iterable[str]] = None) -> None:
         self.states: Set[State] = set()
         self.initial: Set[State] = set()
         self.final: Set[State] = set()
         self._delta: Dict[State, Dict[Symbol, Set[State]]] = {}
+        #: alphabet-partitioned transition index ``symbol -> src -> dsts``;
+        #: the successor sets are shared (aliased) with ``_delta``, so both
+        #: views stay consistent at no extra per-transition cost.  Product
+        #: constructions and symbol-directed sweeps read this view instead
+        #: of scanning every state's whole symbol dict.
+        self._by_symbol: Dict[Symbol, Dict[State, Set[State]]] = {}
         self._alphabet: Set[str] = set(alphabet) if alphabet else set()
         #: next fresh state id; kept ahead of every state the mutating
         #: methods have seen so ``add_state()`` is O(1) instead of an O(n)
@@ -91,7 +105,12 @@ class Nfa:
         self._note_state(dst)
         self.states.add(src)
         self.states.add(dst)
-        self._delta.setdefault(src, {}).setdefault(symbol, set()).add(dst)
+        by_state = self._delta.setdefault(src, {})
+        targets = by_state.get(symbol)
+        if targets is None:
+            targets = by_state[symbol] = set()
+            self._by_symbol.setdefault(symbol, {})[src] = targets
+        targets.add(dst)
 
     def add_word_path(self, src: State, word: str, dst: State) -> None:
         """Add a chain of transitions spelling ``word`` from ``src`` to ``dst``."""
@@ -116,6 +135,26 @@ class Nfa:
     def successors(self, state: State, symbol: Symbol) -> Set[State]:
         """Return the states reachable from ``state`` via ``symbol``."""
         return set(self._delta.get(state, {}).get(symbol, set()))
+
+    def transitions_on(self, symbol: Symbol) -> Dict[State, Set[State]]:
+        """The ``src -> dsts`` map of every transition labelled ``symbol``.
+
+        This is the alphabet-partitioned view: symbol-directed algorithms
+        (subset construction, products) fetch one symbol's transitions in a
+        single lookup instead of scanning each state's full symbol dict.
+        Treat the result as read-only — it aliases the internal index.
+        """
+        return self._by_symbol.get(symbol, {})
+
+    def transitions_map(self, state: State) -> Dict[Symbol, Set[State]]:
+        """The ``symbol -> dsts`` map of transitions leaving ``state``.
+
+        The per-state counterpart of :meth:`transitions_on`: products and
+        other symbol-directed sweeps intersect two states' key views instead
+        of scanning either side's transitions one at a time.  Treat the
+        result as read-only — it aliases the internal delta.
+        """
+        return self._delta.get(state, {})
 
     def transitions_from(self, state: State) -> Iterator[Tuple[Symbol, State]]:
         """Iterate over ``(symbol, dst)`` pairs leaving ``state``."""

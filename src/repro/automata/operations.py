@@ -151,9 +151,15 @@ def determinize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Tuple[Nfa
         subset = work.popleft()
         src = state_for(subset)
         for symbol in sigma:
+            # Alphabet-partitioned lookup: one dict fetch per symbol instead
+            # of probing every subset state's whole symbol dict.
+            on_symbol = nfa.transitions_on(symbol)
             targets: Set[State] = set()
-            for state in subset:
-                targets |= nfa.successors(state, symbol)
+            if on_symbol:
+                for state in subset:
+                    dsts = on_symbol.get(state)
+                    if dsts:
+                        targets |= dsts
             closure = nfa.epsilon_closure(targets)
             dst = state_for(closure)
             dfa.add_transition(src, symbol, dst)
@@ -198,14 +204,24 @@ def intersection(left: Nfa, right: Nfa) -> Nfa:
     while work:
         p, q = work.popleft()
         src = state_for((p, q))
-        for symbol, p_dst in left_nf.transitions_from(p):
-            for q_dst in right_nf.successors(q, symbol):
-                dst_pair = (p_dst, q_dst)
-                dst = state_for(dst_pair)
-                result.add_transition(src, symbol, dst)
-                if dst_pair not in seen:
-                    seen.add(dst_pair)
-                    work.append(dst_pair)
+        # Intersect the symbol partitions of both states: the product only
+        # follows symbols both sides can take, so neither side's symbol
+        # dict is scanned for transitions the other cannot match.
+        left_on = left_nf.transitions_map(p)
+        right_on = right_nf.transitions_map(q)
+        if len(right_on) < len(left_on):
+            common = right_on.keys() & left_on.keys()
+        else:
+            common = left_on.keys() & right_on.keys()
+        for symbol in common:
+            for p_dst in left_on[symbol]:
+                for q_dst in right_on[symbol]:
+                    dst_pair = (p_dst, q_dst)
+                    dst = state_for(dst_pair)
+                    result.add_transition(src, symbol, dst)
+                    if dst_pair not in seen:
+                        seen.add(dst_pair)
+                        work.append(dst_pair)
     return result
 
 

@@ -51,6 +51,11 @@ TheoryCallback = Callable[[Set[int], bool], Optional[Clause]]
 _ACTIVITY_DECAY = 0.95
 #: rescale threshold guarding against float overflow
 _ACTIVITY_RESCALE = 1e100
+#: conflicts per solve after which decisions switch from the DLIS scan to
+#: pure activity ordering: once a search is conflict-heavy the activity
+#: signal is strong, and the O(clause-database) DLIS scan per decision
+#: (which keeps growing with every learned clause) starts to dominate
+_DLIS_CONFLICT_LIMIT = 500
 
 
 @dataclass
@@ -123,6 +128,9 @@ class DpllSolver:
         self.trail: List[List] = []
         self._prop_head = 0
         self._true_atoms: Set[int] = set()
+        #: conflict count when the current solve began (drives the DLIS →
+        #: activity decision switch-over, see :meth:`_decide_var`)
+        self._conflicts_at_solve_start = 0
 
         # Activity / decision order.
         self._activity: List[float] = [0.0]
@@ -257,8 +265,24 @@ class DpllSolver:
         self._var_inc /= _ACTIVITY_DECAY
 
     def _decide_var(self) -> Optional[int]:
-        """DLIS count over unsatisfied clauses, activity as the tie-break."""
+        """DLIS count over unsatisfied clauses, activity as the tie-break.
+
+        Conflict-heavy searches (past :data:`_DLIS_CONFLICT_LIMIT` conflicts
+        in the current solve) switch to the activity order alone — by then
+        the conflict signal beats the frequency signal and the per-decision
+        clause scan is the bottleneck.
+        """
         value_of = self._value_of
+        if self.stats.conflicts - self._conflicts_at_solve_start > _DLIS_CONFLICT_LIMIT:
+            activity = self._activity
+            best: Optional[int] = None
+            best_score = -1.0
+            for var in range(1, self.num_vars + 1):
+                if value_of[var] is None and activity[var] > best_score:
+                    best = var
+                    best_score = activity[var]
+            if best is not None and best_score > 0.0:
+                return best
         counts: Dict[int, int] = {}
         for lits in self.clauses:
             satisfied = False
@@ -514,6 +538,7 @@ class DpllSolver:
         deadline = self.deadline if deadline is None else deadline
         budget = self.max_conflicts if max_conflicts is None else max_conflicts
         conflicts_at_start = self.stats.conflicts
+        self._conflicts_at_solve_start = conflicts_at_start
         self.stats.restarts += 1
         self._restart()
         if not self._assert_units():

@@ -17,16 +17,62 @@ basis.  :meth:`Simplex.prepare` registers a constraint's linear form (row
 creation only) and returns a bound handle that can be asserted cheaply with
 :meth:`Simplex.assert_bound` on every theory check.
 
-All arithmetic uses :class:`fractions.Fraction`, so results are exact.
+All arithmetic is exact.  Numbers are kept as plain :class:`int` for as long
+as every division is exact and are promoted to :class:`fractions.Fraction`
+only on the first non-integral division (see :func:`_div`): most LIA
+tableaus stay integral through long pivot sequences, and native ``int``
+arithmetic is several times faster than ``Fraction`` — which profiling shows
+dominating pivot time otherwise.  ``int`` and ``Fraction`` mix freely in
+comparisons and arithmetic, so rows, bounds and assignments may hold either.
+
+:meth:`Simplex.gomory_cuts` derives Gomory mixed-integer cutting planes from
+the fractional basic rows of a feasible tableau (the "branch-and-cut"
+extension of §8); see :mod:`repro.lia.intsolver` for how they are used.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .terms import LinExpr
+
+#: exact numbers in the tableau: ``int`` on the fast path, ``Fraction``
+#: after promotion
+Num = object
+
+
+def _norm(value):
+    """Collapse an integral :class:`Fraction` back to ``int`` (fast path)."""
+    if isinstance(value, int):
+        return value
+    if value.denominator == 1:
+        return value.numerator
+    return value
+
+
+def _div(a, b):
+    """Exact ``a / b``: ``int`` when the division is exact, else ``Fraction``.
+
+    This is the single promotion point of the dual int/Fraction tableau —
+    every other operation (addition, multiplication, comparison) keeps
+    ``int`` operands ``int``.
+    """
+    if isinstance(a, int) and isinstance(b, int):
+        quotient, remainder = divmod(a, b)
+        if not remainder:
+            return quotient
+        return Fraction(a, b)
+    return _norm(Fraction(a) / Fraction(b))
+
+
+def _frac(value) -> Fraction:
+    """The fractional part ``value - floor(value)`` (0 for every ``int``)."""
+    if isinstance(value, int):
+        return Fraction(0)
+    return value - (value.numerator // value.denominator)
 
 
 @dataclass
@@ -92,6 +138,9 @@ class Simplex:
         self._slack_index = 0
         # Reuse slack variables for syntactically identical linear forms.
         self._slack_cache: Dict[Tuple, str] = {}
+        #: slack variable -> its defining linear form over original variables
+        #: (needed to translate Gomory cuts back into constraint space)
+        self._slack_def: Dict[str, Tuple] = {}
         # Backtracking: scope markers into the bound-restoration trail.
         self._scopes: List[int] = []
         self._undo: List[Tuple[str, str, Optional[Fraction], object]] = []
@@ -134,7 +183,7 @@ class Simplex:
             self._order[name] = len(self._order)
             self._lower[name] = None
             self._upper[name] = None
-            self._assignment[name] = Fraction(0)
+            self._assignment[name] = 0
 
     def _fresh_slack(self) -> str:
         name = f"__s{self._slack_index}"
@@ -153,7 +202,7 @@ class Simplex:
         """
         expr = constraint.expr
         linear = LinExpr(expr.coeffs, 0)
-        bound = Fraction(-expr.const)
+        bound = _norm(-expr.const)
 
         for name in linear.coeffs:
             self._ensure_var(name)
@@ -161,28 +210,29 @@ class Simplex:
         if len(linear.coeffs) == 1:
             # Simple bound on a single variable: avoid creating a slack.
             ((name, coeff),) = linear.coeffs.items()
-            coeff = Fraction(coeff)
-            value = bound / coeff
+            coeff = _norm(coeff)
+            value = _div(bound, coeff)
             relation = constraint.relation
             if coeff < 0 and relation in ("<=", ">="):
                 relation = ">=" if relation == "<=" else "<="
             return name, relation, value
 
-        key = tuple(sorted((name, Fraction(coeff)) for name, coeff in linear.coeffs.items()))
+        key = tuple(sorted((name, _norm(coeff)) for name, coeff in linear.coeffs.items()))
         slack = self._slack_cache.get(key)
         if slack is None:
             slack = self._fresh_slack()
             self._slack_cache[key] = slack
+            self._slack_def[slack] = key
             self._ensure_var(slack)
-            row = {name: Fraction(coeff) for name, coeff in linear.coeffs.items()}
+            row = dict(key)
             # Express the slack in terms of current *non-basic* variables.
-            resolved: Dict[str, Fraction] = {}
+            resolved: Dict[str, Num] = {}
             for name, coeff in row.items():
                 if name in self._basic:
                     for inner_name, inner_coeff in self._rows[name].items():
-                        resolved[inner_name] = resolved.get(inner_name, Fraction(0)) + coeff * inner_coeff
+                        resolved[inner_name] = resolved.get(inner_name, 0) + coeff * inner_coeff
                 else:
-                    resolved[name] = resolved.get(name, Fraction(0)) + coeff
+                    resolved[name] = resolved.get(name, 0) + coeff
             resolved = {name: coeff for name, coeff in resolved.items() if coeff != 0}
             self._rows[slack] = resolved
             for name in resolved:
@@ -191,12 +241,9 @@ class Simplex:
             self._nnz += len(resolved)
             self._nnz_fresh += len(key)
             self._assignment[slack] = sum(
-                (
-                    coeff * self._assignment[name]
-                    for name, coeff in resolved.items()
-                    if self._assignment[name]
-                ),
-                Fraction(0),
+                coeff * self._assignment[name]
+                for name, coeff in resolved.items()
+                if self._assignment[name]
             )
         return slack, constraint.relation, bound
 
@@ -210,7 +257,7 @@ class Simplex:
         self._assert_bound(name, relation, value, tag)
 
     def _assert_bound(self, name: str, relation: str, value: Fraction, tag: object) -> None:
-        value = Fraction(value)
+        value = _norm(value)
         record = bool(self._scopes)
         if relation in ("<=", "=="):
             current = self._upper[name]
@@ -255,10 +302,10 @@ class Simplex:
         self._basic.discard(basic)
         coeff = row[nonbasic]
         # nonbasic = (basic - sum_{k != nonbasic} a_k x_k) / coeff
-        new_row: Dict[str, Fraction] = {basic: Fraction(1) / coeff}
+        new_row: Dict[str, Num] = {basic: _div(1, coeff)}
         for name, a in row.items():
             if name != nonbasic and a:
-                new_row[name] = -a / coeff
+                new_row[name] = _div(-a, coeff)
         self._rows[nonbasic] = new_row
         self._nnz += len(new_row)
         for name in new_row:
@@ -289,7 +336,7 @@ class Simplex:
 
     def _pivot_and_update(self, basic: str, nonbasic: str, target: Fraction) -> None:
         coeff = self._rows[basic][nonbasic]
-        theta = (target - self._assignment[basic]) / coeff
+        theta = _div(target - self._assignment[basic], coeff)
         self._assignment[basic] = target
         self._assignment[nonbasic] += theta
         for other in self._cols.get(nonbasic, ()):
@@ -313,9 +360,9 @@ class Simplex:
         self._cols = {}
         self._basic = set()
         for name in self._assignment:
-            self._assignment[name] = Fraction(0)
+            self._assignment[name] = 0
         for key, slack in self._slack_cache.items():
-            row = {name: Fraction(coeff) for name, coeff in key}
+            row = dict(key)
             self._rows[slack] = row
             for name in row:
                 self._cols.setdefault(name, set()).add(slack)
@@ -361,11 +408,16 @@ class Simplex:
             return self._order[name]
 
         for _ in range(max_pivots):
+            # Bland's rule: repair the violating basic variable of smallest
+            # index (a single min-scan; sorting every round dominated checks).
             violating: Optional[str] = None
-            for name in sorted(self._basic, key=var_index):
+            violating_index = -1
+            for name in self._basic:
                 if self._violates_lower(name) or self._violates_upper(name):
-                    violating = name
-                    break
+                    index = self._order[name]
+                    if violating is None or index < violating_index:
+                        violating = name
+                        violating_index = index
             if violating is None:
                 if not want_model:
                     return SimplexResult(True)
@@ -413,6 +465,131 @@ class Simplex:
             if tag is not None:
                 tags.add(tag)
         return tags
+
+    # ------------------------------------------------------------------
+    # Cutting planes
+    # ------------------------------------------------------------------
+    def _is_integer_var(self, name: str, integer_vars: Optional[Set[str]]) -> bool:
+        """Is ``name`` forced integral?  Slacks inherit from their definition."""
+        definition = self._slack_def.get(name)
+        if definition is not None:
+            return all(
+                not _frac(coeff) and self._is_integer_var(var, integer_vars)
+                for var, coeff in definition
+            )
+        return integer_vars is None or name in integer_vars
+
+    def gomory_cuts(
+        self,
+        integer_vars: Optional[Set[str]] = None,
+        max_cuts: int = 8,
+        max_coefficient: int = 10**12,
+    ) -> List[Constraint]:
+        """Derive Gomory mixed-integer cuts from fractional basic rows.
+
+        Must be called directly after a *feasible* :meth:`check` (the cuts
+        are read off the current assignment/basis).  Each returned constraint
+        is expressed over the original (non-slack) variables with integer
+        coefficients and relation ``>=``; it is violated by the current
+        fractional vertex but satisfied by **every** integer solution of the
+        asserted bounds, so adding it and re-checking makes progress without
+        cutting off any integer point.
+
+        Derivation per fractional basic variable ``x_i`` (standard GMI, cf.
+        the branch-and-cut strategy of §8): the tableau row gives the
+        identity ``x_i = β + Σ_L a_j (x_j − l_j) − Σ_U a_j (u_j − x_j)`` over
+        the non-basic variables sitting at their lower/upper bounds.  Terms
+        with integral coefficient, integral bound and integer variable drop
+        out modulo 1; the remaining slack distances ``w_j ≥ 0`` satisfy
+        ``Σ f(c_j) w_j ≡ −f0 (mod 1)`` with ``f0 = frac(β) > 0``, which
+        yields the rounded cut ``Σ α_j w_j ≥ 1``.  Rows mentioning a
+        fractional-coefficient variable *not* at a bound are skipped.
+
+        The ``tag`` of a cut is the frozenset union of the tags of every
+        bound actually used in the derivation — the provenance needed for
+        sound conflict cores: any later conflict involving the cut reports
+        exactly the original constraints the cut descended from.
+        """
+        cuts: List[Constraint] = []
+        for basic in sorted(self._basic, key=self._order.__getitem__):
+            if len(cuts) >= max_cuts:
+                break
+            if not self._is_integer_var(basic, integer_vars):
+                continue
+            f0 = _frac(self._assignment[basic])
+            if not f0:
+                continue
+            terms: List[Tuple[str, Fraction, bool, Fraction]] = []
+            tags: Set[object] = set()
+            usable = True
+            for name, a in self._rows[basic].items():
+                value = self._assignment[name]
+                is_int = self._is_integer_var(name, integer_vars)
+                if not _frac(a) and is_int and not _frac(value):
+                    # integral coefficient × integral integer variable:
+                    # contributes an integer regardless of bounds — drop.
+                    continue
+                low, up = self._lower[name], self._upper[name]
+                if low is not None and value == low:
+                    at_lower, bound, tag = True, low, self._lower_tag.get(name)
+                elif up is not None and value == up:
+                    at_lower, bound, tag = False, up, self._upper_tag.get(name)
+                else:
+                    usable = False
+                    break
+                # coefficient of the distance w = (x−l) resp. (u−x), w ≥ 0.
+                # The distances satisfy t = Σ c_k w_k with t + f0 ∈ ℤ, i.e.
+                # frac(t) = 1 − f0, which is the "f0" of the textbook GMI
+                # formula — hence the 1−f0 thresholds below.
+                c = a if at_lower else -a
+                if is_int and not _frac(bound):
+                    g = _frac(c)
+                    alpha = g / (1 - f0) if g <= 1 - f0 else (1 - g) / f0
+                else:
+                    # continuous (or fractionally-bounded) term of the GMI cut
+                    alpha = Fraction(c) / (1 - f0) if c > 0 else Fraction(-c) / f0
+                terms.append((name, alpha, at_lower, bound))
+                if tag is not None:
+                    tags.add(tag)
+            if not usable or not terms:
+                continue
+            # Σ α_j w_j ≥ 1, expanded to "expr >= 0" over the tableau vars...
+            coeffs: Dict[str, Fraction] = {}
+            const: Fraction = Fraction(-1)
+            for name, alpha, at_lower, bound in terms:
+                sign = 1 if at_lower else -1
+                coeffs[name] = coeffs.get(name, 0) + sign * alpha
+                const -= sign * alpha * bound
+            # ... then over the original variables (slacks are definitional,
+            # so expanding them adds no provenance).
+            expanded: Dict[str, Fraction] = {}
+            for name, coeff in coeffs.items():
+                definition = self._slack_def.get(name)
+                if definition is None:
+                    expanded[name] = expanded.get(name, 0) + coeff
+                else:
+                    for inner, inner_coeff in definition:
+                        expanded[inner] = expanded.get(inner, 0) + coeff * inner_coeff
+            expanded = {name: coeff for name, coeff in expanded.items() if coeff}
+            if not expanded:
+                continue
+            denominator = 1
+            for value in list(expanded.values()) + [const]:
+                d = value.denominator if isinstance(value, Fraction) else 1
+                denominator = denominator * d // gcd(denominator, d)
+            scaled = {name: _norm(coeff * denominator) for name, coeff in expanded.items()}
+            if max(abs(coeff) for coeff in scaled.values()) > max_coefficient:
+                continue
+            flat: Set[object] = set()
+            for tag in tags:
+                if isinstance(tag, frozenset):
+                    flat |= tag
+                else:
+                    flat.add(tag)
+            cuts.append(
+                Constraint(LinExpr(scaled, _norm(const * denominator)), ">=", frozenset(flat))
+            )
+        return cuts
 
 
 def check_constraints(constraints: Sequence[Constraint]) -> SimplexResult:

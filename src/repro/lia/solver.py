@@ -117,6 +117,16 @@ class LiaConfig:
     partial_theory_checks: bool = True
     #: budget of branch-and-bound nodes per integer feasibility check
     branch_and_bound_nodes: int = 4000
+    #: rounds of Gomory mixed-integer cuts per branch-and-bound node; cuts
+    #: are what refute pure-inequality divisibility conflicts (e.g. the
+    #: ``(abc)*`` commuting disequalities) that branch-and-bound diverges on
+    gomory_cut_rounds: int = 10
+    #: total Gomory cuts per integer feasibility check (0 disables cuts)
+    max_gomory_cuts: int = 200
+    #: run the Omega-test elimination pre-pass on small reduced systems
+    #: (sound refutations from projected divisibility conflicts, and integer
+    #: models by back-substitution when every elimination step is exact)
+    omega_elimination: bool = True
     #: budget of boolean conflicts
     max_conflicts: int = 100000
     #: optional wall-clock limit in seconds
@@ -346,6 +356,9 @@ class _Context:
                 integer_vars=None,
                 max_nodes=self.config.branch_and_bound_nodes,
                 deadline=self._deadline,
+                cut_rounds=self.config.gomory_cut_rounds,
+                max_cuts=self.config.max_gomory_cuts,
+                omega=self.config.omega_elimination,
             )
         except ResourceLimit:
             if self._deadline is not None and time.monotonic() > self._deadline:
@@ -443,35 +456,60 @@ class _Context:
             narrowed = {tag for tag in refutation.conflict if isinstance(tag, int)}
             if narrowed and len(narrowed) < len(atoms):
                 atoms = sorted(narrowed)
-            budget = 12
-            position = 0
-            while position < len(atoms) and budget > 0 and len(atoms) > 2:
-                var = atoms[position]
-                rest = [self._atom_constraint[other] for other in atoms if other != var]
-                budget -= 1
+
+            def rational_test(rest):
                 outcome = check_rational_feasibility(rest)
-                if outcome.feasible:
-                    position += 1
-                    continue
-                shrunk = {tag for tag in outcome.conflict if isinstance(tag, int)}
-                if shrunk and len(shrunk) < len(atoms) - 1:
-                    atoms = sorted(shrunk)
-                    position = 0
-                else:
-                    atoms.remove(var)
+                return None if outcome.feasible else outcome.conflict
+
+            return self._deletion_filter(atoms, rational_test, budget=12)
+        # Integer-only conflict (divisibility/parity): deletion-test with a
+        # tightly budgeted branch-and-cut check — Gomory cuts refute these
+        # cores in a handful of pivots where plain branch-and-bound
+        # deletion tests diverge.  A subset the budget cannot refute keeps
+        # its atom (conservative), so the result stays a sound core.
+        if len(atoms) > 24:
             return set(atoms)
-        # Integer-only conflict (divisibility/parity): deletion-test with the
-        # polynomial equality-elimination pass alone — branch-and-bound
-        # deletion tests diverge on exactly these cores.  A subset the
-        # elimination cannot refute keeps its atom (conservative).
-        if len(atoms) > 16:
-            return set(atoms)
-        for var in list(atoms):
-            if len(atoms) <= 2:
-                break
+
+        def integer_test(rest):
+            try:
+                outcome = check_integer_feasibility(
+                    rest,
+                    max_nodes=50,
+                    deadline=self._deadline,
+                    cut_rounds=self.config.gomory_cut_rounds,
+                    max_cuts=min(64, self.config.max_gomory_cuts),
+                    omega=self.config.omega_elimination,
+                )
+            except ResourceLimit:
+                if self._deadline is not None and time.monotonic() > self._deadline:
+                    raise
+                return None  # budget exhausted: conservatively keep the atom
+            return None if outcome.feasible else (outcome.conflict or set())
+
+        return self._deletion_filter(atoms, integer_test, budget=16)
+
+    def _deletion_filter(self, atoms: List[int], test, budget: int) -> Set[int]:
+        """Greedy deletion testing shared by both core-minimisation modes.
+
+        ``test`` receives the constraints of a candidate subset and returns
+        ``None`` when it cannot refute them (the dropped atom is kept) or a
+        conflict tag set, which — when strictly smaller — re-narrows the
+        whole core at once.
+        """
+        position = 0
+        while position < len(atoms) and budget > 0 and len(atoms) > 2:
+            var = atoms[position]
             rest = [self._atom_constraint[other] for other in atoms if other != var]
-            reduced, _defs, _tags = _eliminate_equalities_over_z(rest)
-            if reduced is None:
+            budget -= 1
+            conflict = test(rest)
+            if conflict is None:
+                position += 1
+                continue
+            shrunk = {tag for tag in conflict if isinstance(tag, int)}
+            if shrunk and len(shrunk) < len(atoms) - 1:
+                atoms = sorted(shrunk)
+                position = 0
+            else:
                 atoms.remove(var)
         return set(atoms)
 

@@ -111,14 +111,24 @@ class LinExpr:
         return value
 
     def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
-        """Substitute variables by expressions."""
-        result = LinExpr.constant(self.const)
+        """Substitute variables by expressions.
+
+        Single-pass dict merge: this is the inner loop of the equality
+        elimination passes (thousands of calls per theory check), where the
+        naive ``result + term`` chain allocates one intermediate expression
+        per variable.
+        """
+        coeffs: Dict[str, Number] = {}
+        const = self.const
         for name, coeff in self.coeffs.items():
-            if name in mapping:
-                result = result + mapping[name] * coeff
+            replacement = mapping.get(name)
+            if replacement is None:
+                coeffs[name] = coeffs.get(name, 0) + coeff
             else:
-                result = result + LinExpr({name: coeff})
-        return result
+                const += replacement.const * coeff
+                for inner, inner_coeff in replacement.coeffs.items():
+                    coeffs[inner] = coeffs.get(inner, 0) + inner_coeff * coeff
+        return LinExpr(coeffs, const)
 
     # -- misc -------------------------------------------------------------
     def key(self) -> Tuple:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..lia import LiaConfig
@@ -31,6 +31,25 @@ class SolverConfig:
     incremental_lia: bool = True
     #: configuration of the underlying LIA solver
     lia: LiaConfig = field(default_factory=LiaConfig)
+    #: cutting planes in the LIA integer core (Gomory cut rounds plus the
+    #: Omega-test pre-pass); ``False`` zeroes the cut budgets in ``lia`` at
+    #: construction time — the pre-cuts behaviour, kept for ablation and
+    #: differential testing.  Budgets are tuned via
+    #: ``lia.gomory_cut_rounds`` / ``lia.max_gomory_cuts`` /
+    #: ``lia.omega_elimination``; toggling this field after construction has
+    #: no effect.
+    lia_cuts: bool = True
     #: verify every SAT model against the original problem (cheap, keeps the
     #: solver sound even in the presence of encoder bugs)
     verify_models: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.lia_cuts:
+            # Zero the budgets on a copy: a caller-provided LiaConfig may be
+            # shared with other SolverConfigs that do want cutting planes.
+            self.lia = replace(
+                self.lia,
+                gomory_cut_rounds=0,
+                max_gomory_cuts=0,
+                omega_elimination=False,
+            )

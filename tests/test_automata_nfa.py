@@ -1,5 +1,7 @@
 """Unit tests for the core NFA data structure."""
 
+import random
+
 from repro.automata import EPSILON, Nfa
 
 
@@ -127,3 +129,43 @@ def test_fresh_state_ids_after_copy_and_trim():
     for derived in (nfa.copy(), nfa.trim(), nfa.renumbered(7)[0]):
         fresh = derived.add_state()
         assert fresh not in (derived.states - {fresh})
+
+
+def _random_nfa(rng, states=8, transitions=20, alphabet="abc"):
+    nfa = Nfa(alphabet)
+    for _ in range(states):
+        nfa.add_state()
+    for _ in range(transitions):
+        src = rng.randrange(states)
+        dst = rng.randrange(states)
+        symbol = rng.choice([EPSILON] + list(alphabet))
+        nfa.add_transition(src, symbol, dst)
+    nfa.make_initial(rng.randrange(states))
+    nfa.make_final(rng.randrange(states))
+    return nfa
+
+
+def test_transitions_on_matches_iter_transitions():
+    """The alphabet-partitioned index is a faithful view of the delta."""
+    rng = random.Random(3)
+    for _ in range(20):
+        nfa = _random_nfa(rng)
+        by_symbol = {}
+        for src, symbol, dst in nfa.iter_transitions():
+            by_symbol.setdefault(symbol, set()).add((src, dst))
+        for symbol in list(by_symbol) + ["unused"]:
+            indexed = {
+                (src, dst)
+                for src, dsts in nfa.transitions_on(symbol).items()
+                for dst in dsts
+            }
+            assert indexed == by_symbol.get(symbol, set())
+
+
+def test_transitions_map_lists_outgoing_transitions():
+    nfa = Nfa("ab")
+    a, b = nfa.add_states(2)
+    nfa.add_transition(a, "a", b)
+    nfa.add_transition(a, EPSILON, b)
+    assert nfa.transitions_map(a) == {"a": {b}, EPSILON: {b}}
+    assert nfa.transitions_map(b) == {}

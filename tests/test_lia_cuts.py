@@ -1,0 +1,286 @@
+"""Tests for the cutting-plane layer: Gomory cuts and the Omega pre-pass.
+
+Two properties are load-bearing for soundness and are checked here against
+brute-force integer enumeration:
+
+* **validity** — a cut (or an Omega projection verdict) never excludes an
+  integer point that satisfies the source constraints, and
+* **provenance** — conflict cores built from cuts name only the original
+  constraints that actually contributed to the refutation.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.lia import LinExpr
+from repro.lia.intsolver import (
+    ResourceLimit,
+    _omega_check,
+    check_integer_feasibility,
+)
+from repro.lia.simplex import Constraint, Simplex
+
+
+def expr(coeffs, const=0):
+    return LinExpr(coeffs, const)
+
+
+def _holds(constraint, point):
+    value = constraint.expr.const + sum(
+        coeff * point[name] for name, coeff in constraint.expr.coeffs.items()
+    )
+    if constraint.relation == "<=":
+        return value <= 0
+    if constraint.relation == ">=":
+        return value >= 0
+    return value == 0
+
+
+def _integer_points(variables, radius):
+    for values in itertools.product(range(-radius, radius + 1), repeat=len(variables)):
+        yield dict(zip(variables, values))
+
+
+def _random_system(rng, num_vars=3, num_constraints=5, radius=3):
+    """A random bounded system: box bounds plus random inequalities."""
+    variables = [f"x{i}" for i in range(num_vars)]
+    constraints = []
+    for index, name in enumerate(variables):
+        constraints.append(Constraint(expr({name: 1}, -radius), "<=", tag=f"box-hi-{index}"))
+        constraints.append(Constraint(expr({name: 1}, radius), ">=", tag=f"box-lo-{index}"))
+    for index in range(num_constraints):
+        coeffs = {name: rng.randint(-3, 3) for name in rng.sample(variables, rng.randint(1, num_vars))}
+        coeffs = {name: coeff for name, coeff in coeffs.items() if coeff}
+        if not coeffs:
+            continue
+        relation = rng.choice(["<=", ">=", "=="])
+        constraints.append(
+            Constraint(expr(coeffs, rng.randint(-4, 4)), relation, tag=f"c{index}")
+        )
+    return variables, constraints
+
+
+# ----------------------------------------------------------------------
+# Gomory cut validity
+# ----------------------------------------------------------------------
+def test_gomory_cuts_never_cut_off_integer_points():
+    rng = random.Random(20250729)
+    radius = 3
+    checked_cuts = 0
+    for _ in range(60):
+        variables, constraints = _random_system(rng, radius=radius)
+        simplex = Simplex()
+        for constraint in constraints:
+            simplex.add_constraint(constraint)
+        result = simplex.check()
+        if not result.feasible:
+            continue
+        cuts = simplex.gomory_cuts()
+        if not cuts:
+            continue
+        solutions = [
+            point
+            for point in _integer_points(variables, radius)
+            if all(_holds(c, point) for c in constraints)
+        ]
+        for cut in cuts:
+            checked_cuts += 1
+            for point in solutions:
+                assert _holds(cut, point), (
+                    f"cut {cut.expr} >= 0 excludes integer solution {point}"
+                )
+    assert checked_cuts >= 5, "the random systems produced too few cuts to be meaningful"
+
+
+def test_gomory_cut_is_violated_by_the_fractional_vertex():
+    # x + 2y >= 1, x + 2y <= 1 with x, y >= 0: the vertex has y = 1/2.
+    simplex = Simplex()
+    for constraint in (
+        Constraint(expr({"x": 1, "y": 2}, -1), "==", tag="eq"),
+        Constraint(expr({"x": 3, "y": 2}, -2), "==", tag="eq2"),
+    ):
+        simplex.add_constraint(constraint)
+    result = simplex.check()
+    assert result.feasible
+    cuts = simplex.gomory_cuts()
+    assert cuts, "a fractional basic variable must produce a cut"
+    for cut in cuts:
+        value = cut.expr.const + sum(
+            coeff * result.model[name] for name, coeff in cut.expr.coeffs.items()
+        )
+        assert value < 0, "a Gomory cut must cut off the current fractional vertex"
+
+
+def test_gomory_cut_tags_are_subsets_of_source_tags():
+    rng = random.Random(7)
+    for _ in range(40):
+        _variables, constraints = _random_system(rng)
+        source_tags = {c.tag for c in constraints}
+        simplex = Simplex()
+        for constraint in constraints:
+            simplex.add_constraint(constraint)
+        if not simplex.check().feasible:
+            continue
+        for cut in simplex.gomory_cuts():
+            assert isinstance(cut.tag, frozenset)
+            assert cut.tag <= source_tags
+
+
+def test_gomory_cuts_ignore_unrelated_constraints():
+    # z's bounds never appear in a fractional row over x/y, so no cut may
+    # carry the unrelated tag (that would poison later conflict cores).
+    simplex = Simplex()
+    for constraint in (
+        Constraint(expr({"x": 1, "y": 2}, -1), "==", tag="eq"),
+        Constraint(expr({"x": 3, "y": 2}, -2), "==", tag="eq2"),
+        Constraint(expr({"z": 1}, -5), ">=", tag="unrelated"),
+    ):
+        simplex.add_constraint(constraint)
+    assert simplex.check().feasible
+    cuts = simplex.gomory_cuts()
+    assert cuts
+    for cut in cuts:
+        assert "unrelated" not in cut.tag
+
+
+# ----------------------------------------------------------------------
+# Omega pre-pass
+# ----------------------------------------------------------------------
+def test_omega_check_agrees_with_bruteforce():
+    rng = random.Random(42)
+    radius = 3
+    unsat_seen = sat_seen = 0
+    for _ in range(120):
+        variables, constraints = _random_system(rng, radius=radius)
+        verdict, payload = _omega_check(constraints)
+        if verdict is None:
+            continue
+        has_solution = any(
+            all(_holds(c, point) for c in constraints)
+            for point in _integer_points(variables, radius)
+        )
+        if verdict == "unsat":
+            unsat_seen += 1
+            assert not has_solution, "omega refuted a satisfiable system"
+            assert payload, "an omega refutation must carry provenance tags"
+        else:
+            sat_seen += 1
+            # The intsolver re-verifies omega models before trusting them;
+            # the back-substitution should nevertheless be correct.
+            assert all(_holds(c, payload) for c in constraints)
+    assert unsat_seen >= 3 and sat_seen >= 3, (unsat_seen, sat_seen)
+
+
+def test_omega_refutation_tags_name_contributors_only():
+    # 2x >= 1 and 2x <= 1: gcd tightening turns the pair into x >= 1 and
+    # x <= 0 — a pure-inequality divisibility conflict with no equalities
+    # for the upstream elimination pass to work with.
+    constraints = [
+        Constraint(expr({"x": 2}, -1), ">=", tag="lo"),
+        Constraint(expr({"x": 2}, -1), "<=", tag="hi"),
+        Constraint(expr({"z": 1}, -7), "<=", tag="unrelated"),
+    ]
+    verdict, tags = _omega_check(constraints)
+    assert verdict == "unsat"
+    flat = set().union(*[t if isinstance(t, frozenset) else {t} for t in [tags]])
+    assert flat == {"lo", "hi"}
+
+
+# ----------------------------------------------------------------------
+# The commuting-disequality mod-3 core (the PR's headline regression)
+# ----------------------------------------------------------------------
+#: minimal unsatisfiable core extracted from ``position-hard-comm-0``: a
+#: pure-inequality/equality mod-3 conflict whose rational relaxation is
+#: feasible and on which plain branch-and-bound diverges
+_COMM_MOD3_CORE = [
+    ({"v0": -1, "v1": -1, "v2": -1, "v3": 1, "v4": -1, "v5": -1}, 0, "<="),
+    ({"v0": 1, "v4": 1, "v5": 1, "v1": 1, "v6": 1, "v2": 1}, -1, "<="),
+    ({"v7": 1, "v8": -1, "v9": 1, "v10": 1, "v6": -1, "v2": -1, "v11": -1}, 0, "<="),
+    ({"v8": 1, "v11": 1, "v12": 1, "v10": -1, "v13": -1, "v14": 1, "v5": -1, "v1": -1, "v15": -1}, 0, "<="),
+    ({"v16": -1}, 0, "<="),
+    ({"v17": 1, "v3": -1, "v18": -1}, 0, "<="),
+    ({"v18": 1, "v1": 1, "v2": 1, "v19": -1}, 0, "<="),
+    ({"v1": -1}, 0, "<="),
+    ({"v0": -1, "v20": 1, "v21": 1, "v1": -1, "v2": -1, "v19": 1, "v22": -1, "v17": -1, "v3": 1}, 0, "=="),
+    ({"v0": 1}, 0, "=="),
+    ({"v20": 1, "v23": -1, "v21": 1, "v18": -1, "v1": -1, "v2": -1, "v19": 1}, 0, "=="),
+    ({"v20": 1}, 0, "=="),
+    ({"v24": -1, "v5": -1, "v1": -1, "v6": -1, "v2": -1}, 1, "=="),
+    ({"v24": 1}, 0, "=="),
+    ({"v15": 1, "v16": 1, "v12": -1, "v14": -1, "v7": -1, "v13": 1, "v9": -1}, 1, "<="),
+    ({"v19": 1, "v17": -1}, 1, "<="),
+    ({"v10": -1, "v6": 1, "v2": 1}, 0, "=="),
+    ({"v10": 1}, 0, "=="),
+    ({"v25": 3, "v7": -1, "v8": -1, "v12": -2, "v14": -2, "v13": 2, "v9": -1, "v10": 1, "v5": 2, "v1": 3, "v6": 1, "v2": 2, "v11": -1, "v15": 2, "v22": -1, "v23": -1, "v3": -1, "v21": -1}, 0, "=="),
+]
+
+
+def _comm_core_constraints(extra=()):
+    constraints = [
+        Constraint(expr(coeffs, const), relation, tag=f"core-{index}")
+        for index, (coeffs, const, relation) in enumerate(_COMM_MOD3_CORE)
+    ]
+    constraints.extend(extra)
+    return constraints
+
+
+def test_commuting_mod3_core_is_refuted_by_cuts():
+    outcome = check_integer_feasibility(_comm_core_constraints(), max_nodes=200)
+    assert not outcome.feasible
+
+
+def test_commuting_mod3_core_diverges_without_cuts():
+    # The same system exhausts its budget when cutting planes and the Omega
+    # pass are disabled — the regression this PR exists to fix.
+    with pytest.raises(ResourceLimit):
+        check_integer_feasibility(
+            _comm_core_constraints(), max_nodes=200, cut_rounds=0, omega=False
+        )
+
+
+def test_cut_conflict_core_names_only_contributing_assertions():
+    extra = [
+        Constraint(expr({"w0": 1}, -9), "<=", tag="bystander-0"),
+        Constraint(expr({"w1": 1, "w0": 1}, 3), ">=", tag="bystander-1"),
+    ]
+    outcome = check_integer_feasibility(_comm_core_constraints(extra), max_nodes=200)
+    assert not outcome.feasible
+    assert outcome.conflict
+    assert all(isinstance(tag, str) and tag.startswith("core-") for tag in outcome.conflict)
+
+
+def test_solver_config_lia_cuts_ablation_switch():
+    from repro.lia import LiaConfig
+    from repro.solver import SolverConfig
+
+    shared = LiaConfig()
+    ablated = SolverConfig(lia=shared, lia_cuts=False)
+    assert ablated.lia.gomory_cut_rounds == 0
+    assert ablated.lia.max_gomory_cuts == 0
+    assert not ablated.lia.omega_elimination
+    # The zeroing happens on a copy: a shared LiaConfig (and configs built
+    # from it later) keeps its cutting planes.
+    assert shared.gomory_cut_rounds > 0
+    assert SolverConfig(lia=shared).lia.gomory_cut_rounds > 0
+
+
+def test_integer_feasibility_matches_bruteforce_on_random_systems():
+    rng = random.Random(99)
+    radius = 2
+    for _ in range(40):
+        variables, constraints = _random_system(
+            rng, num_vars=3, num_constraints=4, radius=radius
+        )
+        try:
+            outcome = check_integer_feasibility(constraints, max_nodes=2000)
+        except ResourceLimit:
+            continue
+        has_solution = any(
+            all(_holds(c, point) for c in constraints)
+            for point in _integer_points(variables, radius)
+        )
+        assert outcome.feasible == has_solution
+        if outcome.feasible:
+            assert all(_holds(c, outcome.model) for c in constraints)
