@@ -1,6 +1,6 @@
 """Micro-benchmark harness for the incremental DPLL(T) LIA stack.
 
-Three workloads are timed:
+Four workloads are timed:
 
 * **mbqi** — ¬contains chains (one instantiation lemma per predicate, so a
   ``k``-chain drives ``k+1`` LIA queries through the solve–refine loop).
@@ -12,6 +12,12 @@ Three workloads are timed:
   branch-and-bound alone diverges).  Any verdict disagreeing with the
   ground truth counts as a wrong verdict and fails the gate — in quick CI
   mode too.
+* **session** — a symbolic-execution-style chain of related ``check`` calls
+  driven twice: through one incremental :class:`repro.Session` (warm
+  pipeline caches, pinned branch LIA solvers) and as repeated one-shot
+  ``PositionSolver.check`` calls on each prefix (cold caches, the pre-PR-3
+  interface).  Verdicts must be identical; the speedup is the headline
+  number of the session API.
 * **e2e** — the scaled-down end-to-end benchmark suite
   (:func:`repro.benchgen.suite.benchmark_sets`, scale 1) under the position
   solver with a 20 s per-instance timeout.
@@ -65,6 +71,11 @@ CUTS_INSTANCES = ("position-hard-comm-0", "position-hard-comm-3")
 #: per-instance timeout of the cuts workload (the acceptance bar is well
 #: below this; a timeout shows up as a non-``unsat`` status)
 CUTS_TIMEOUT = 25.0
+#: per-check timeout of the session workload
+SESSION_TIMEOUT = 60.0
+#: chain length of the session workload (quick mode runs a prefix)
+SESSION_STEPS = 12
+SESSION_QUICK_STEPS = 6
 
 
 def _chain_problem(k: int):
@@ -127,6 +138,83 @@ def run_mbqi(baseline: Dict, quick: bool) -> Dict:
             f"{entry['lia_queries']} queries)"
         )
     return {"timeout": MBQI_TIMEOUT, "instances": instances}
+
+
+def _session_chain_atoms():
+    """A symbolic-execution path: each step narrows the previous query."""
+    from repro.lia import eq as lia_eq, ge, le
+    from repro.strings.ast import (
+        Contains,
+        LengthConstraint,
+        PrefixOf,
+        RegexMembership,
+        WordEquation,
+        lit,
+        str_len,
+        term,
+    )
+
+    return [
+        RegexMembership("path", "(a|b|/)*"),
+        RegexMembership("user", "(a|b)(a|b)*"),
+        PrefixOf(term(lit("a/")), term("path"), positive=False),
+        LengthConstraint(ge(str_len("path"), 3)),
+        RegexMembership("doc", "(a|b)*"),
+        WordEquation(term("user"), term("doc"), positive=False),
+        LengthConstraint(lia_eq(str_len("user"), str_len("doc"))),
+        LengthConstraint(le(str_len("user"), 6)),
+        RegexMembership("seg", "(ab)*"),
+        Contains(term(lit("bb")), term("seg"), positive=False),
+        LengthConstraint(ge(str_len("seg"), 4)),
+        LengthConstraint(ge(str_len("doc"), 2)),
+    ]
+
+
+def run_session(quick: bool) -> Dict:
+    from repro.solver import PositionSolver, Session, SolverConfig
+    from repro.strings.ast import Problem
+
+    alphabet = tuple("ab/")
+    atoms = _session_chain_atoms()[: SESSION_QUICK_STEPS if quick else SESSION_STEPS]
+
+    session = Session(config=SolverConfig(timeout=SESSION_TIMEOUT), alphabet=alphabet)
+    session_verdicts = []
+    start = time.monotonic()
+    for atom in atoms:
+        session.add(atom)
+        session_verdicts.append(session.check().status.value)
+    session_seconds = time.monotonic() - start
+
+    oneshot_verdicts = []
+    start = time.monotonic()
+    for index in range(len(atoms)):
+        problem = Problem(atoms=atoms[: index + 1], alphabet=alphabet,
+                          name=f"session-chain-{index}")
+        config = SolverConfig(timeout=SESSION_TIMEOUT)
+        oneshot_verdicts.append(PositionSolver(config).check(problem).status.value)
+    oneshot_seconds = time.monotonic() - start
+
+    mismatches = sum(1 for a, b in zip(session_verdicts, oneshot_verdicts) if a != b)
+    entry = {
+        "steps": len(atoms),
+        "timeout": SESSION_TIMEOUT,
+        "session_seconds": round(session_seconds, 3),
+        "oneshot_seconds": round(oneshot_seconds, 3),
+        "speedup_session_vs_oneshot": round(oneshot_seconds / session_seconds, 2),
+        "verdicts": session_verdicts,
+        "verdict_mismatches": mismatches,
+        "stats": {
+            key: value
+            for key, value in session.statistics().items()
+            if "hits" in key or "reuse" in key or key in ("checks", "lia_parts_asserted")
+        },
+    }
+    print(
+        f"[session] {entry['steps']}-step chain: session {session_seconds:.2f}s, "
+        f"one-shot {oneshot_seconds:.2f}s "
+        f"({entry['speedup_session_vs_oneshot']}x, {mismatches} mismatches)"
+    )
+    return entry
 
 
 def run_cuts(quick: bool) -> Dict:
@@ -234,6 +322,7 @@ def run(quick: bool = False, output: Optional[str] = None) -> Dict:
             "python": platform.python_version(),
         },
         "mbqi": run_mbqi(baseline, quick),
+        "session": run_session(quick),
         "cuts": run_cuts(quick),
         "e2e": run_e2e(baseline, quick),
     }

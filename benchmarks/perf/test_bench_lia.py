@@ -5,7 +5,8 @@ test run the module skips itself so the tier-1 suite stays fast.  In quick
 mode the measured times are gated against the committed ``BENCH_lia.json``:
 the job fails when the quick workload regresses by more than 25 % — and,
 independently of timing, whenever any workload (the commuting-disequality
-cuts instances or the e2e suite) produces a wrong verdict.
+cuts instances or the e2e suite) produces a wrong verdict, or the session
+chain diverges from (or fails to beat) the repeated one-shot path.
 """
 
 import json
@@ -42,6 +43,16 @@ def test_bench_lia(bench_selected, tmp_path_factory):
     for name, entry in mbqi.items():
         assert entry["status"] == "sat", f"{name} no longer solves: {entry['status']}"
         assert entry["lia_queries"] >= 5, f"{name} stopped exercising the MBQI loop"
+
+    # Session workload: the incremental chain must agree with the one-shot
+    # path step by step and actually be faster (the acceptance bar of the
+    # session API redesign).
+    session = report["session"]
+    assert session["verdict_mismatches"] == 0, session
+    assert session["steps"] >= (6 if quick else 10), session
+    assert session["speedup_session_vs_oneshot"] >= 1.5, (
+        f"session chain no faster than repeated one-shot checks: {session}"
+    )
 
     # Verdict gate (applies in quick mode too): any wrong verdict anywhere —
     # the cuts workload or the e2e suite — fails the job outright.

@@ -1,0 +1,91 @@
+"""CI smoke over the SMT-LIB corpus: every file answers, 0 wrong verdicts.
+
+Runs the ``repro.smtlib`` frontend (the same path as
+``python -m repro.smtlib``) over every ``.smt2`` file next to this script
+and checks that
+
+* the script parses and executes,
+* it **round-trips**: parse → print → parse → print reaches a printer
+  fixpoint,
+* every ``check-sat`` produces an answer, and
+* no answer contradicts the recorded ``(set-info :status …)`` ground truth
+  (``unknown`` statuses only require *an* answer).
+
+Exit status 0 on success, 1 with a per-file failure list otherwise::
+
+    PYTHONPATH=src python benchmarks/smtlib/check_corpus.py [--timeout S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+import time
+from typing import List
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(os.path.dirname(_HERE)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def check_corpus(timeout: float = 30.0, directory: str = _HERE) -> List[str]:
+    from repro.smtlib import ScriptRunner, parse_problem, parse_script, problem_to_smtlib
+    from repro.solver import SolverConfig
+
+    failures: List[str] = []
+    paths = sorted(glob.glob(os.path.join(directory, "*.smt2")))
+    if not paths:
+        return ["no .smt2 files found — run benchmarks/smtlib/generate.py first"]
+    for path in paths:
+        name = os.path.basename(path)
+        with open(path) as handle:
+            text = handle.read()
+        started = time.monotonic()
+        try:
+            script = parse_script(text)
+            printed = problem_to_smtlib(parse_problem(text), status=script.expected_status)
+            reprinted = problem_to_smtlib(parse_problem(printed), status=script.expected_status)
+            if printed != reprinted:
+                failures.append(f"{name}: printer is not a round-trip fixpoint")
+                continue
+            runner = ScriptRunner(config=SolverConfig(timeout=timeout))
+            runner.run_script(script, name=name)
+        except Exception as error:  # noqa: BLE001 - report, keep checking
+            failures.append(f"{name}: {type(error).__name__}: {error}")
+            continue
+        elapsed = time.monotonic() - started
+        if not runner.verdicts:
+            failures.append(f"{name}: no check-sat answer")
+            continue
+        verdict = runner.verdicts[-1]
+        expected = script.expected_status
+        if expected in ("sat", "unsat") and verdict in ("sat", "unsat") and verdict != expected:
+            failures.append(f"{name}: WRONG verdict {verdict} (expected {expected})")
+            continue
+        if verdict not in ("sat", "unsat"):
+            failures.append(f"{name}: no verdict ({verdict}) within {timeout:.0f}s")
+            continue
+        print(f"[corpus] {name}: {verdict} in {elapsed:.2f}s")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-file wall-clock budget in seconds (default 30)")
+    args = parser.parse_args()
+    failures = check_corpus(timeout=args.timeout)
+    if failures:
+        print(f"[corpus] {len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("[corpus] all files parsed, round-tripped and answered with 0 wrong verdicts")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

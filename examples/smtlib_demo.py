@@ -1,0 +1,60 @@
+"""SMT-LIB frontend demo: parse, print, and drive a session from a script.
+
+Run with::
+
+    PYTHONPATH=src python examples/smtlib_demo.py
+
+The same script can be executed from the command line::
+
+    PYTHONPATH=src python -m repro.smtlib benchmarks/smtlib/thefuck-like__thefuck-0.smt2
+"""
+
+from repro.smtlib import parse_problem, problem_to_smtlib, run_script
+from repro.solver import SolverConfig
+
+SCRIPT = """
+(set-logic QF_SLIA)
+(set-info :alphabet "ab/")
+(declare-const path String)
+(declare-const user String)
+
+; every route is built from a, b and the separator
+(assert (! (str.in_re path (re.* (re.union (str.to_re "a") (str.to_re "b") (str.to_re "/")))) :named mpath))
+; user names alternate ab (a flat language, so the MBQI procedure decides
+; the not-contains below exactly) and are non-empty
+(assert (! (str.in_re user (re.* (re.++ (str.to_re "a") (str.to_re "b")))) :named muser))
+(assert (! (>= (str.len user) 2) :named nonempty))
+; note: SMT-LIB str.contains takes the haystack first
+(assert (! (not (str.contains user "/")) :named nosep))
+
+(push 1)
+; an else-branch of a startswith() test, plus a length window
+(assert (! (not (str.prefixof "a/" path)) :named notroute))
+(assert (! (>= (str.len path) 3) :named minlen))
+(check-sat)
+(get-model)
+(pop 1)
+
+(push 1)
+; an unsatisfiable narrowing: a separator-free user starting with "a/"
+(assert (! (str.prefixof "a/" user) :named impossible))
+(check-sat)
+(get-unsat-core)
+(pop 1)
+(exit)
+"""
+
+
+def main():
+    print("== streaming the script into a session (python -m repro.smtlib) ==")
+    for line in run_script(SCRIPT, config=SolverConfig(timeout=30.0)):
+        print(line)
+
+    print()
+    print("== the final assertion set as a round-tripped problem ==")
+    problem = parse_problem(SCRIPT)
+    print(problem_to_smtlib(problem, status="sat"), end="")
+
+
+if __name__ == "__main__":
+    main()

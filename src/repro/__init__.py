@@ -3,32 +3,42 @@ Constraints in String Solving" (PLDI 2025).
 
 Public API highlights:
 
-* :class:`repro.solver.PositionSolver` — the string solver with the paper's
-  position-constraint decision procedure (the Z3-Noodler-pos analogue),
+* :class:`repro.Session` — the incremental session API
+  (``add``/``push``/``pop``/``check``/``model``/``unsat_core``), the
+  recommended driver for chains of related checks,
+* :class:`repro.solver.PositionSolver` — the classic one-shot interface to
+  the paper's position-constraint decision procedure (the Z3-Noodler-pos
+  analogue; a thin wrapper over a throwaway session),
 * :class:`repro.solver.EagerReductionSolver` and
   :class:`repro.solver.EnumerativeSolver` — the comparison baselines,
 * :mod:`repro.strings` — the constraint AST (``Problem``, ``WordEquation``,
   ``Contains``, ...),
+* :mod:`repro.smtlib` — the SMT-LIB 2.6 QF_SLIA frontend
+  (``parse_script``/``parse_problem``/``problem_to_smtlib`` and the
+  ``python -m repro.smtlib`` command-line runner),
 * :mod:`repro.core` — the tag-automaton encodings themselves,
 * :mod:`repro.automata` and :mod:`repro.lia` — the NFA and LIA substrates,
 * :mod:`repro.benchgen` — benchmark generators and the evaluation harness.
 
 Quick start::
 
-    from repro import Problem, PositionSolver, RegexMembership, WordEquation, term
+    from repro import RegexMembership, Session, WordEquation, term
 
-    problem = Problem(alphabet=tuple("ab"))
-    problem.add(RegexMembership("x", "(ab)*"))
-    problem.add(RegexMembership("y", "(a|b)*b"))
-    problem.add(WordEquation(term("x"), term("y"), positive=False))  # x != y
-    result = PositionSolver().check(problem)
-    print(result.status, result.model.strings if result.model else None)
+    session = Session(alphabet=tuple("ab"))
+    session.add(RegexMembership("x", "(ab)*"))
+    session.add(RegexMembership("y", "(a|b)*b"))
+    session.push()
+    session.add(WordEquation(term("x"), term("y"), positive=False))  # x != y
+    result = session.check()
+    print(result.status, session.model().strings if result.is_sat else None)
+    session.pop()  # back to the memberships alone
 """
 
 from .solver import (
     EagerReductionSolver,
     EnumerativeSolver,
     PositionSolver,
+    Session,
     SolveResult,
     SolverConfig,
     Status,
@@ -54,6 +64,7 @@ from .strings import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
     "PositionSolver",
     "EagerReductionSolver",
     "EnumerativeSolver",

@@ -47,7 +47,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .cnf import CnfBuilder
 from .intsolver import (
@@ -99,6 +99,14 @@ class LiaResult:
     reason: str = ""
     #: per-check performance counters (propagations, pivots, cache hits, ...)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: variables of atoms that participated in theory conflicts during the
+    #: check (mapped back through the presolve elimination chain).  For an
+    #: ``UNSAT`` verdict this over-approximates the variables a refutation
+    #: touched; string-solver callers use it to narrow unsat cores before
+    #: deletion testing.  Empty when no theory conflict was recorded (e.g. a
+    #: purely boolean refutation), in which case callers must fall back to
+    #: the full assertion set.
+    conflict_vars: FrozenSet[str] = frozenset()
 
     @property
     def is_sat(self) -> bool:
@@ -153,6 +161,10 @@ class _Level:
     eliminated_mark: int = 0
     var_mark: int = 0
     false: bool = False
+    #: variables of the assertion batch that collapsed to ``false`` (the
+    #: presolve cannot attribute the collapse to one formula of the batch,
+    #: so this over-approximates at batch granularity)
+    false_vars: FrozenSet[str] = frozenset()
     unsupported: str = ""
     #: canonical keys of theory clauses strengthened with root-forced atoms
     #: of this level (retracted on pop — see ``_Context._strengthen_core``)
@@ -200,6 +212,10 @@ class _Context:
         self._last_model: Dict[str, int] = {}
         self._int_pivots = 0
         self._cache_hits = 0
+        #: boolean atom variables that appeared in theory conflict cores of
+        #: the current ``check`` (reset per check, surfaced as
+        #: ``LiaResult.conflict_vars``)
+        self._conflict_participants: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Assertion stack
@@ -247,8 +263,10 @@ class _Context:
         if not self.pending:
             return
         level = self.levels[-1]
+        batch_vars: Set[str] = set()
         for formula in self.pending:
             for name in formula.variables():
+                batch_vars.add(name)
                 if name not in self._var_set:
                     self._var_set.add(name)
                     self._var_list.append(name)
@@ -264,6 +282,7 @@ class _Context:
         if isinstance(combined, BoolConst):
             if not combined.value:
                 level.false = True
+                level.false_vars = level.false_vars | batch_vars
             return
 
         try:
@@ -274,6 +293,7 @@ class _Context:
         if isinstance(nnf, BoolConst):
             if not nnf.value:
                 level.false = True
+                level.false_vars = level.false_vars | batch_vars
             return
 
         self._encoded_vars.update(combined.variables())
@@ -334,9 +354,12 @@ class _Context:
                         conflict_vars = {
                             tag for tag in _flatten_tags(tags) if isinstance(tag, int)
                         } or set(true_atoms)
-                        conflict_vars = self._strengthen_core(
-                            self._minimize_core(conflict_vars)
-                        )
+                        conflict_vars = self._minimize_core(conflict_vars)
+                        # Record before strengthening: root-forced atoms are
+                        # dropped from the learned clause but still belong to
+                        # the refutation.
+                        self._conflict_participants |= conflict_vars
+                        conflict_vars = self._strengthen_core(conflict_vars)
                         return tuple(-var for var in sorted(conflict_vars))
                 self._feasible_sets.append(frozenset(true_atoms))
                 if len(self._feasible_sets) > self.config.feasible_cache_size:
@@ -346,6 +369,7 @@ class _Context:
             if not conflict_vars:
                 conflict_vars = set(true_atoms)
             conflict_vars = self._minimize_core(conflict_vars)
+            self._conflict_participants |= conflict_vars
             conflict_vars = self._strengthen_core(conflict_vars)
             return tuple(-var for var in sorted(conflict_vars))
 
@@ -395,6 +419,7 @@ class _Context:
             # but guard against an empty (always-false) clause.
             return tuple()
         conflict_vars = self._minimize_core(conflict_vars)
+        self._conflict_participants |= conflict_vars
         conflict_vars = self._strengthen_core(conflict_vars)
         return tuple(-var for var in sorted(conflict_vars))
 
@@ -530,12 +555,36 @@ class _Context:
             "duplicate_clauses": sat.duplicate_clauses + self.cnf.duplicate_clauses,
         }
 
+    def _participant_names(self) -> FrozenSet[str]:
+        """Variable names touched by this check's theory conflicts.
+
+        The conflict atoms live in the substituted (post-presolve) variable
+        space; the elimination chain is walked backwards so that an original
+        assertion mentioning an eliminated variable is reconnected to the
+        conflicts its definition participated in.
+        """
+        names: Set[str] = set()
+        for var in self._conflict_participants:
+            atom = self.cnf.atom_of_var.get(var)
+            if atom is not None:
+                names.update(atom.expr.coeffs)
+        for name, definition in reversed(self.eliminated):
+            if name in names or names.intersection(definition.coeffs):
+                names.add(name)
+                names.update(definition.coeffs)
+        return frozenset(names)
+
     def check(self, deadline: Optional[float] = None) -> LiaResult:
         if deadline is None and self.config.timeout is not None:
             deadline = time.monotonic() + self.config.timeout
         before = self._stats_snapshot()
 
-        def result(status: LiaStatus, model: Optional[LiaModel] = None, reason: str = "") -> LiaResult:
+        def result(
+            status: LiaStatus,
+            model: Optional[LiaModel] = None,
+            reason: str = "",
+            conflict_vars: FrozenSet[str] = frozenset(),
+        ) -> LiaResult:
             after = self._stats_snapshot()
             stats = {key: after[key] - before[key] for key in after}
             return LiaResult(
@@ -545,17 +594,22 @@ class _Context:
                 theory_checks=stats["theory_checks"],
                 reason=reason,
                 stats=stats,
+                conflict_vars=conflict_vars,
             )
 
         self._flush()
+        false_vars: Set[str] = set()
         for level in self.levels:
             if level.false:
-                return result(LiaStatus.UNSAT)
+                false_vars.update(level.false_vars)
+        if false_vars or any(level.false for level in self.levels):
+            return result(LiaStatus.UNSAT, conflict_vars=frozenset(false_vars))
         for level in self.levels:
             if level.unsupported:
                 return result(LiaStatus.UNKNOWN, reason=level.unsupported)
 
         self._deadline = deadline
+        self._conflict_participants = set()
         try:
             verdict, _boolean_model = self.sat.solve(
                 deadline=deadline, max_conflicts=self.config.max_conflicts
@@ -571,7 +625,7 @@ class _Context:
                     LiaStatus.UNKNOWN,
                     reason="branch-and-bound budget exhausted on some boolean assignment",
                 )
-            return result(LiaStatus.UNSAT)
+            return result(LiaStatus.UNSAT, conflict_vars=self._participant_names())
 
         model = LiaModel(dict(self._last_model))
         model.values = complete_model(model.values, self.eliminated)

@@ -1,0 +1,69 @@
+"""SMT-LIB 2.6 frontend for the QF_S / QF_SLIA fragment the solver covers.
+
+* :func:`parse_script` / :func:`parse_problem` — concrete syntax → commands
+  / one :class:`~repro.strings.ast.Problem`,
+* :func:`problem_to_smtlib` / :func:`atom_to_sexpr` — the printer half of
+  the round trip,
+* :class:`ScriptRunner` / :func:`run_script` — stream a script into a
+  :class:`repro.Session` (the engine of ``python -m repro.smtlib``).
+"""
+
+from .lexer import SmtLibError, SString, read_sexprs, tokenize
+from .parser import (
+    AssertCommand,
+    CheckSat,
+    Command,
+    DeclareConst,
+    EchoCommand,
+    ExitCommand,
+    GetModel,
+    GetUnsatCore,
+    PopCommand,
+    PushCommand,
+    SetInfo,
+    SetLogic,
+    SetOption,
+    SmtScript,
+    parse_problem,
+    parse_script,
+)
+from .printer import (
+    PrintError,
+    atom_to_sexpr,
+    formula_to_sexpr,
+    pattern_to_sexpr,
+    problem_to_smtlib,
+    term_to_sexpr,
+)
+from .runner import ScriptRunner, run_script
+
+__all__ = [
+    "SmtLibError",
+    "SString",
+    "tokenize",
+    "read_sexprs",
+    "SmtScript",
+    "Command",
+    "SetLogic",
+    "SetInfo",
+    "SetOption",
+    "DeclareConst",
+    "AssertCommand",
+    "PushCommand",
+    "PopCommand",
+    "CheckSat",
+    "GetModel",
+    "GetUnsatCore",
+    "EchoCommand",
+    "ExitCommand",
+    "parse_script",
+    "parse_problem",
+    "PrintError",
+    "problem_to_smtlib",
+    "atom_to_sexpr",
+    "term_to_sexpr",
+    "formula_to_sexpr",
+    "pattern_to_sexpr",
+    "ScriptRunner",
+    "run_script",
+]

@@ -1,0 +1,75 @@
+"""Command-line SMT-LIB runner: ``python -m repro.smtlib file.smt2 …``.
+
+Streams every script into a fresh :class:`repro.Session` and prints one
+line per answering command (``check-sat`` verdicts, ``get-model`` /
+``get-unsat-core`` responses, ``echo`` messages).  With several input files
+each answer line is prefixed by the file name.  ``-`` reads from stdin.
+
+Exit status: 0 when every script ran to completion, 1 on a parse or
+execution error (the error is printed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..solver import SolverConfig
+from .lexer import SmtLibError
+from .runner import ScriptRunner
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.smtlib",
+        description="Run SMT-LIB 2.6 QF_S/QF_SLIA scripts on the repro string solver.",
+    )
+    parser.add_argument("files", nargs="+", help="script files ('-' for stdin)")
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="wall-clock budget per check-sat call in seconds (default 60)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the session's cumulative statistics after each script",
+    )
+    args = parser.parse_args(argv)
+
+    config = SolverConfig(timeout=args.timeout)
+    failures = 0
+    prefix_names = len(args.files) > 1
+    for path in args.files:
+        try:
+            if path == "-":
+                text = sys.stdin.read()
+            else:
+                with open(path) as handle:
+                    text = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            failures += 1
+            continue
+
+        def emit(line: str, path: str = path) -> None:
+            if prefix_names:
+                print(f"{path}: {line}")
+            else:
+                print(line)
+
+        runner = ScriptRunner(config=config, out=emit)
+        try:
+            runner.run(text, name=path)
+        except SmtLibError as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        if args.stats and runner.session is not None:
+            stats = runner.session.statistics()
+            rendered = ", ".join(f"{key}={value}" for key, value in sorted(stats.items()))
+            print(f"; stats: {rendered}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

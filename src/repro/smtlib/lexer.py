@@ -1,0 +1,149 @@
+"""SMT-LIB 2.6 lexer and s-expression reader.
+
+Tokenises the concrete syntax into the four atom shapes the QF_SLIA
+fragment needs — symbols (plain and ``|quoted|``), keywords (``:kw``),
+numerals and string literals (with the 2.6 ``""`` escape) — and reads the
+token stream into nested Python lists.  String literals are wrapped in
+:class:`SString` so downstream code can tell ``"abc"`` from the symbol
+``abc``; numerals become plain ``int``; everything else stays a ``str``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple, Union
+
+
+class SmtLibError(ValueError):
+    """Raised on malformed or unsupported SMT-LIB input."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class SString(str):
+    """A string *literal* token (as opposed to a symbol)."""
+
+    __slots__ = ()
+
+
+class Punct(str):
+    """A structural paren token — distinct from any literal or symbol.
+
+    Without the marker class, the one-character string literal ``"("`` (or
+    a quoted symbol spelling a paren) would compare equal to the structural
+    token and derail the reader.
+    """
+
+    __slots__ = ()
+
+
+#: one parsed s-expression: an atom or a nested list
+SExpr = Union[str, int, SString, List["SExpr"]]
+
+#: characters allowed in simple (unquoted) symbols, besides alphanumerics
+_SYMBOL_EXTRA = set("~!@$%^&*_-+=<>.?/")
+
+
+def tokenize(text: str) -> Iterator[Tuple[object, int]]:
+    """Yield ``(token, line)`` pairs; parens are :class:`Punct` tokens."""
+    position = 0
+    line = 1
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if char == ";":  # comment to end of line
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        if char in "()":
+            yield Punct(char), line
+            position += 1
+            continue
+        if char == '"':
+            start_line = line
+            position += 1
+            chunk: List[str] = []
+            while True:
+                if position >= length:
+                    raise SmtLibError("unterminated string literal", start_line)
+                char = text[position]
+                if char == '"':
+                    if position + 1 < length and text[position + 1] == '"':
+                        chunk.append('"')  # the 2.6 "" escape
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                if char == "\n":
+                    line += 1
+                chunk.append(char)
+                position += 1
+            yield SString("".join(chunk)), start_line
+            continue
+        if char == "|":
+            start_line = line
+            position += 1
+            chunk = []
+            while position < length and text[position] != "|":
+                if text[position] == "\n":
+                    line += 1
+                chunk.append(text[position])
+                position += 1
+            if position >= length:
+                raise SmtLibError("unterminated quoted symbol", start_line)
+            position += 1
+            yield "".join(chunk), start_line
+            continue
+        # keyword, numeral or simple symbol
+        start = position
+        while position < length:
+            char = text[position]
+            if char.isspace() or char in '();"|':
+                break
+            position += 1
+        token = text[start:position]
+        if not token:  # pragma: no cover - defensive
+            raise SmtLibError(f"unexpected character {text[start]!r}", line)
+        if token.isdigit():
+            yield int(token), line
+        else:
+            head = token[1:] if token.startswith(":") else token
+            if not all(c.isalnum() or c in _SYMBOL_EXTRA for c in head):
+                raise SmtLibError(f"malformed token {token!r}", line)
+            yield token, line
+
+
+def read_sexprs(text: str) -> List[Tuple[SExpr, int]]:
+    """Read every top-level s-expression; returns ``(sexpr, line)`` pairs."""
+    stack: List[List[SExpr]] = []
+    lines: List[int] = []
+    top: List[Tuple[SExpr, int]] = []
+    for token, line in tokenize(text):
+        if isinstance(token, Punct) and token == "(":
+            stack.append([])
+            lines.append(line)
+        elif isinstance(token, Punct) and token == ")":
+            if not stack:
+                raise SmtLibError("unbalanced ')'", line)
+            done = stack.pop()
+            open_line = lines.pop()
+            if stack:
+                stack[-1].append(done)
+            else:
+                top.append((done, open_line))
+        else:
+            if stack:
+                stack[-1].append(token)
+            else:
+                top.append((token, line))
+    if stack:
+        raise SmtLibError("unbalanced '('", lines[-1])
+    return top

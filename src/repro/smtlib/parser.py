@@ -1,0 +1,653 @@
+"""SMT-LIB 2.6 → :mod:`repro.strings` AST translation (QF_S / QF_SLIA subset).
+
+Supported commands: ``set-logic``, ``set-info``, ``set-option`` (recorded,
+not interpreted), ``declare-const`` / 0-ary ``declare-fun`` over ``String``
+/ ``Int``, ``assert`` (with ``(! … :named n)`` annotations), ``push`` /
+``pop``, ``check-sat``, ``get-model``, ``get-unsat-core``, ``echo``,
+``exit``.
+
+Supported term language (the fragment :class:`repro.strings.ast.Problem`
+covers — conjunctions of possibly-negated string atoms, with full boolean
+structure allowed inside pure linear-integer subformulae):
+
+* string terms: variables, literals, ``str.++``, ``str.at`` (at the top of
+  an equality);
+* string atoms: ``=`` / ``distinct``, ``str.prefixof``, ``str.suffixof``,
+  ``str.contains`` (note the argument swap: SMT-LIB's *haystack first*
+  becomes the AST's *needle first*), ``str.in_re``;
+* regular expressions: ``str.to_re``, ``re.++``, ``re.union``, ``re.*``,
+  ``re.+``, ``re.opt``, ``(_ re.loop l u)``, ``re.range``, ``re.allchar``,
+  ``re.all`` — translated to the pattern syntax of
+  :mod:`repro.automata.regex`;
+* integers: ``+``, ``-``, ``*`` (by constants), numerals, ``str.len``, and
+  the relations ``<= < >= > = distinct`` with ``and``/``or``/``not``/``=>``
+  boolean structure.
+
+Alphabet: the solver works over an explicit finite alphabet.  Scripts can
+declare it with the extension ``(set-info :alphabet "abc")`` (the printer
+always emits it); otherwise the alphabet is inferred as every character
+occurring in string literals and ``re.range`` bounds of the script's
+*assertions* (literals elsewhere — echo messages, info values — do not
+count, since complements are alphabet-relative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..lia import Formula as LiaFormula
+from ..lia import FALSE, TRUE, LinExpr, conj, disj, eq as lia_eq, implies, le as lia_le, ne as lia_ne, neg
+from ..strings.ast import (
+    Atom,
+    Contains,
+    LengthConstraint,
+    PrefixOf,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    StringLiteral,
+    StringTerm,
+    StringVar,
+    SuffixOf,
+    WordEquation,
+    str_len,
+)
+from .lexer import SExpr, SmtLibError, SString, read_sexprs
+
+#: characters that carry meaning in :mod:`repro.automata.regex` patterns
+_PATTERN_SPECIALS = set("\\()[]{}*+?|.^-")
+
+
+def _escape_pattern(char: str) -> str:
+    return "\\" + char if char in _PATTERN_SPECIALS else char
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+@dataclass
+class SetLogic:
+    logic: str
+
+
+@dataclass
+class SetInfo:
+    keyword: str
+    value: object
+
+
+@dataclass
+class SetOption:
+    keyword: str
+    value: object
+
+
+@dataclass
+class DeclareConst:
+    name: str
+    sort: str
+
+
+@dataclass
+class AssertCommand:
+    atoms: List[Atom]
+    name: Optional[str] = None
+
+
+@dataclass
+class PushCommand:
+    levels: int = 1
+
+
+@dataclass
+class PopCommand:
+    levels: int = 1
+
+
+@dataclass
+class CheckSat:
+    pass
+
+
+@dataclass
+class GetModel:
+    pass
+
+
+@dataclass
+class GetUnsatCore:
+    pass
+
+
+@dataclass
+class EchoCommand:
+    message: str
+
+
+@dataclass
+class ExitCommand:
+    pass
+
+
+Command = Union[
+    SetLogic, SetInfo, SetOption, DeclareConst, AssertCommand,
+    PushCommand, PopCommand, CheckSat, GetModel, GetUnsatCore,
+    EchoCommand, ExitCommand,
+]
+
+
+@dataclass
+class SmtScript:
+    """A parsed script: commands plus the metadata the session needs."""
+
+    commands: List[Command] = field(default_factory=list)
+    alphabet: Tuple[str, ...] = ()
+    logic: Optional[str] = None
+    #: value of ``(set-info :status …)`` when present
+    expected_status: Optional[str] = None
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+class _NotPureLia(Exception):
+    """Internal: a subterm left the pure linear-integer fragment."""
+
+
+# ----------------------------------------------------------------------
+# Alphabet discovery (pass A over raw s-expressions)
+# ----------------------------------------------------------------------
+#: widest ``re.range`` span the alphabet inference will expand; wider
+#: ranges require an explicit ``(set-info :alphabet …)`` declaration
+_MAX_INFERRED_RANGE = 64
+
+
+def _scan_alphabet(
+    forms: Sequence[Tuple[SExpr, int]]
+) -> Tuple[Optional[str], Set[str], Optional[int]]:
+    declared: Optional[str] = None
+    chars: Set[str] = set()
+    oversized_line: Optional[int] = None
+
+    def scan(expr: SExpr, line: int) -> None:
+        nonlocal oversized_line
+        if isinstance(expr, SString):
+            chars.update(expr)
+            return
+        if isinstance(expr, list):
+            if (
+                len(expr) == 3
+                and expr[0] == "re.range"
+                and isinstance(expr[1], SString)
+                and isinstance(expr[2], SString)
+                and len(expr[1]) == 1
+                and len(expr[2]) == 1
+            ):
+                low, high = ord(expr[1]), ord(expr[2])
+                if high - low <= _MAX_INFERRED_RANGE:
+                    chars.update(chr(c) for c in range(low, high + 1))
+                elif oversized_line is None:
+                    # Truncating would silently change complements (and so
+                    # verdicts); remember the spot and fail later unless an
+                    # explicit alphabet declaration turns up.
+                    oversized_line = line
+            for part in expr:
+                scan(part, line)
+
+    for form, form_line in forms:
+        if (
+            isinstance(form, list)
+            and len(form) == 3
+            and form[0] == "set-info"
+            and form[1] == ":alphabet"
+            and isinstance(form[2], SString)
+        ):
+            declared = str(form[2])
+            continue
+        # Only assertion bodies feed the inference: literals in unrelated
+        # commands (echo messages, :source info, …) must not enlarge the
+        # alphabet — complements are alphabet-relative, so a stray
+        # character would change verdicts.
+        if isinstance(form, list) and form and form[0] == "assert":
+            scan(form, form_line)
+    return declared, chars, oversized_line
+
+
+# ----------------------------------------------------------------------
+# The translator (pass B)
+# ----------------------------------------------------------------------
+class _Translator:
+    def __init__(self, alphabet: Tuple[str, ...]) -> None:
+        self.alphabet = alphabet
+        self.sorts: Dict[str, str] = {}
+        self.line = 0
+
+    def error(self, message: str) -> SmtLibError:
+        return SmtLibError(message, self.line)
+
+    # -- sorts ----------------------------------------------------------
+    def sort_of(self, expr: SExpr) -> str:
+        if isinstance(expr, SString):
+            return "String"
+        if isinstance(expr, int):
+            return "Int"
+        if isinstance(expr, str):
+            if expr in ("true", "false"):
+                return "Bool"
+            sort = self.sorts.get(expr)
+            if sort is None:
+                raise self.error(f"undeclared constant {expr!r}")
+            return sort
+        if isinstance(expr, list) and expr:
+            head = expr[0]
+            if head in ("str.++", "str.at", "str.substr"):
+                return "String"
+            if head in ("str.len", "+", "-", "*", "div", "mod", "abs"):
+                return "Int"
+            return "Bool"
+        raise self.error(f"cannot determine the sort of {expr!r}")
+
+    # -- string terms ---------------------------------------------------
+    def string_term(self, expr: SExpr) -> StringTerm:
+        if isinstance(expr, SString):
+            return (StringLiteral(str(expr)),) if expr else ()
+        if isinstance(expr, str):
+            if self.sorts.get(expr) != "String":
+                raise self.error(f"{expr!r} is not a declared String constant")
+            return (StringVar(expr),)
+        if isinstance(expr, list) and expr and expr[0] == "str.++":
+            parts: List = []
+            for arg in expr[1:]:
+                parts.extend(self.string_term(arg))
+            return tuple(parts)
+        raise self.error(f"unsupported string term {expr!r}")
+
+    # -- integer terms --------------------------------------------------
+    def int_term(self, expr: SExpr) -> LinExpr:
+        if isinstance(expr, bool):  # pragma: no cover - defensive
+            raise self.error("boolean in integer position")
+        if isinstance(expr, int):
+            return LinExpr.constant(expr)
+        if isinstance(expr, SString):
+            raise self.error("string literal in integer position")
+        if isinstance(expr, str):
+            if self.sorts.get(expr) != "Int":
+                raise self.error(f"{expr!r} is not a declared Int constant")
+            return LinExpr.var(expr)
+        if not isinstance(expr, list) or not expr:
+            raise self.error(f"unsupported integer term {expr!r}")
+        head = expr[0]
+        if head == "+":
+            return LinExpr.sum_of(self.int_term(arg) for arg in expr[1:])
+        if head == "-":
+            if len(expr) == 2:
+                return -self.int_term(expr[1])
+            total = self.int_term(expr[1])
+            for arg in expr[2:]:
+                total = total - self.int_term(arg)
+            return total
+        if head == "*":
+            factors = [self.int_term(arg) for arg in expr[1:]]
+            constant = 1
+            symbolic: Optional[LinExpr] = None
+            for factor in factors:
+                if factor.is_constant():
+                    constant *= factor.const
+                elif symbolic is None:
+                    symbolic = factor
+                else:
+                    raise self.error("non-linear multiplication")
+            if symbolic is None:
+                return LinExpr.constant(constant)
+            return symbolic * constant
+        if head == "str.len":
+            if len(expr) != 2:
+                raise self.error("str.len takes one argument")
+            term = self.string_term(expr[1])
+            total = LinExpr.constant(0)
+            for element in term:
+                if isinstance(element, StringVar):
+                    total = total + str_len(element.name)
+                else:
+                    total = total + len(element.value)
+            return total
+        raise self.error(f"unsupported integer operator {head!r}")
+
+    # -- pure-LIA formulae ---------------------------------------------
+    def lia_formula(self, expr: SExpr) -> LiaFormula:
+        """Translate a pure linear-integer boolean term (full structure)."""
+        if expr == "true":
+            return TRUE
+        if expr == "false":
+            return FALSE
+        if not isinstance(expr, list) or not expr:
+            raise _NotPureLia()
+        head = expr[0]
+        if head == "and":
+            return conj([self.lia_formula(arg) for arg in expr[1:]])
+        if head == "or":
+            return disj([self.lia_formula(arg) for arg in expr[1:]])
+        if head == "not":
+            if len(expr) != 2:
+                raise self.error("not takes one argument")
+            return neg(self.lia_formula(expr[1]))
+        if head == "=>":
+            if len(expr) < 3:
+                raise self.error("=> takes at least two arguments")
+            result = self.lia_formula(expr[-1])
+            for arg in reversed(expr[1:-1]):
+                result = implies(self.lia_formula(arg), result)
+            return result
+        if head in ("<=", "<", ">", ">=", "=", "distinct"):
+            arguments = expr[1:]
+            if any(self.sort_of(arg) != "Int" for arg in arguments):
+                raise _NotPureLia()
+            terms = [self.int_term(arg) for arg in arguments]
+            if len(terms) < 2:
+                raise self.error(f"{head} takes at least two arguments")
+            parts: List[LiaFormula] = []
+            if head == "distinct":
+                for i in range(len(terms)):
+                    for j in range(i + 1, len(terms)):
+                        parts.append(lia_ne(terms[i], terms[j]))
+                return conj(parts)
+            for left, right in zip(terms, terms[1:]):
+                if head == "<=":
+                    parts.append(lia_le(left, right))
+                elif head == "<":
+                    parts.append(lia_le(left + 1, right))
+                elif head == ">=":
+                    parts.append(lia_le(right, left))
+                elif head == ">":
+                    parts.append(lia_le(right + 1, left))
+                else:
+                    parts.append(lia_eq(left, right))
+            return conj(parts)
+        raise _NotPureLia()
+
+    # -- regular expressions -------------------------------------------
+    def regex_pattern(self, expr: SExpr) -> str:
+        """Translate a ``re`` term to :mod:`repro.automata.regex` syntax."""
+        if isinstance(expr, str):
+            if expr == "re.allchar":
+                return "."
+            if expr == "re.all":
+                return ".*"
+            if expr == "re.none":
+                raise self.error("re.none (the empty language) is not supported")
+            raise self.error(f"unsupported regular expression {expr!r}")
+        if not isinstance(expr, list) or not expr:
+            raise self.error(f"unsupported regular expression {expr!r}")
+        head = expr[0]
+        if head == "str.to_re":
+            if len(expr) != 2 or not isinstance(expr[1], SString):
+                raise self.error("str.to_re takes one string literal")
+            return "".join(_escape_pattern(c) for c in expr[1])
+        if head in ("re.++", "re.union") and len(expr) < 2:
+            raise self.error(f"{head} takes at least one argument")
+        if head == "re.++":
+            return "".join(f"({self.regex_pattern(arg)})" for arg in expr[1:])
+        if head == "re.union":
+            return "(" + "|".join(self.regex_pattern(arg) for arg in expr[1:]) + ")"
+        if head in ("re.*", "re.+", "re.opt"):
+            if len(expr) != 2:
+                raise self.error(f"{head} takes one argument")
+            inner = self.regex_pattern(expr[1])
+            suffix = {"re.*": "*", "re.+": "+", "re.opt": "?"}[head]
+            return f"({inner}){suffix}"
+        if head == "re.range":
+            if (
+                len(expr) != 3
+                or not isinstance(expr[1], SString)
+                or not isinstance(expr[2], SString)
+                or len(expr[1]) != 1
+                or len(expr[2]) != 1
+            ):
+                raise self.error("re.range takes two single-character literals")
+            return f"[{_escape_pattern(str(expr[1]))}-{_escape_pattern(str(expr[2]))}]"
+        if isinstance(head, list) and len(head) == 4 and head[:2] == ["_", "re.loop"]:
+            low, high = head[2], head[3]
+            if not isinstance(low, int) or not isinstance(high, int):
+                raise self.error("re.loop bounds must be numerals")
+            if low > high:
+                raise self.error(f"re.loop lower bound {low} exceeds upper bound {high}")
+            if len(expr) != 2:
+                raise self.error("re.loop takes one regular-expression argument")
+            return f"({self.regex_pattern(expr[1])}){{{low},{high}}}"
+        raise self.error(f"unsupported regular-expression operator {head!r}")
+
+    # -- boolean terms → atom lists ------------------------------------
+    def atoms(self, expr: SExpr, positive: bool = True) -> List[Atom]:
+        """Translate a boolean term into a conjunction of AST atoms."""
+        if expr == "true":
+            return [] if positive else [LengthConstraint(FALSE)]
+        if expr == "false":
+            return [LengthConstraint(FALSE)] if positive else []
+        if isinstance(expr, str):
+            raise self.error(f"free boolean constants are not supported: {expr!r}")
+        if not isinstance(expr, list) or not expr:
+            raise self.error(f"unsupported boolean term {expr!r}")
+        head = expr[0]
+
+        if head == "!":
+            # annotations are handled at the assert level; elsewhere strip
+            if len(expr) < 2:
+                raise self.error("! annotation needs a term")
+            return self.atoms(expr[1], positive)
+        if head == "not":
+            if len(expr) != 2:
+                raise self.error("not takes one argument")
+            return self.atoms(expr[1], not positive)
+        if head == "and" and positive:
+            collected: List[Atom] = []
+            for arg in expr[1:]:
+                collected.extend(self.atoms(arg, True))
+            return collected
+        if head == "or" and not positive:
+            collected = []
+            for arg in expr[1:]:
+                collected.extend(self.atoms(arg, False))
+            return collected
+        if head == "=>" and not positive:
+            if len(expr) != 3:
+                raise self.error("negated => takes exactly two arguments here")
+            return self.atoms(expr[1], True) + self.atoms(expr[2], False)
+
+        if head in ("=", "distinct") and len(expr) >= 3:
+            argument_sorts = {self.sort_of(arg) for arg in expr[1:]}
+            if argument_sorts == {"String"}:
+                equal = (head == "=") == positive
+                return self._string_equalities(expr[1:], equal, chained=head == "=")
+
+        if head == "str.prefixof":
+            if len(expr) != 3:
+                raise self.error("str.prefixof takes two arguments")
+            return [PrefixOf(self.string_term(expr[1]), self.string_term(expr[2]), positive)]
+        if head == "str.suffixof":
+            if len(expr) != 3:
+                raise self.error("str.suffixof takes two arguments")
+            return [SuffixOf(self.string_term(expr[1]), self.string_term(expr[2]), positive)]
+        if head == "str.contains":
+            if len(expr) != 3:
+                raise self.error("str.contains takes two arguments")
+            # SMT-LIB: (str.contains haystack needle); the AST is needle-first.
+            return [Contains(self.string_term(expr[2]), self.string_term(expr[1]), positive)]
+        if head == "str.in_re":
+            if len(expr) != 3:
+                raise self.error("str.in_re takes two arguments")
+            pattern = self.regex_pattern(expr[2])
+            target = expr[1]
+            if isinstance(target, str) and self.sorts.get(target) == "String":
+                return [RegexMembership(target, pattern, positive)]
+            raise self.error("str.in_re is supported on single String constants only")
+
+        # Everything else must be pure LIA (possibly with full structure).
+        try:
+            formula = self.lia_formula(expr)
+        except _NotPureLia:
+            raise self.error(
+                f"term {head!r} leaves the supported conjunctive QF_SLIA fragment"
+            )
+        return [LengthConstraint(formula if positive else neg(formula))]
+
+    def _string_equalities(self, arguments: List[SExpr], equal: bool, chained: bool) -> List[Atom]:
+        """``=`` (chained) / ``distinct`` (pairwise) over string terms.
+
+        ``equal`` is the polarity of the *individual* pairs after folding
+        in the surrounding negation.  A conjunction of pairs is always
+        representable; the two disjunctive cases are not and must be
+        rejected: a negated chain ``(not (= x y z))`` means *some* adjacent
+        pair differs, and a negated ``(not (distinct x y z))`` with three
+        or more arguments means *some* pair is equal.
+        """
+        if chained:
+            pairs = list(zip(arguments, arguments[1:]))
+            if not equal and len(pairs) > 1:
+                raise self.error(
+                    "negated chained equalities are a disjunction and are not supported"
+                )
+        else:
+            pairs = [
+                (arguments[i], arguments[j])
+                for i in range(len(arguments))
+                for j in range(i + 1, len(arguments))
+            ]
+            if equal and len(pairs) > 1:
+                raise self.error(
+                    "negated n-ary distinct is a disjunction and is not supported"
+                )
+        return [self._string_equality(left, right, equal) for left, right in pairs]
+
+    def _string_equality(self, left: SExpr, right: SExpr, equal: bool) -> Atom:
+        for target_side, at_side in ((left, right), (right, left)):
+            if isinstance(at_side, list) and at_side and at_side[0] == "str.at":
+                if len(at_side) != 3:
+                    raise self.error("str.at takes two arguments")
+                target = self.string_term(target_side)
+                if len(target) != 1:
+                    raise self.error("str.at must be compared to one variable or literal")
+                return StrAtAtom(
+                    target[0],
+                    self.string_term(at_side[1]),
+                    self.int_term(at_side[2]),
+                    positive=equal,
+                )
+        return WordEquation(self.string_term(left), self.string_term(right), positive=equal)
+
+
+# ----------------------------------------------------------------------
+# Script parsing
+# ----------------------------------------------------------------------
+def parse_script(text: str) -> SmtScript:
+    """Parse a whole SMT-LIB script into commands plus metadata."""
+    forms = read_sexprs(text)
+    declared, inferred, oversized_line = _scan_alphabet(forms)
+    if declared is None and oversized_line is not None:
+        raise SmtLibError(
+            f"a re.range spans more than {_MAX_INFERRED_RANGE} characters; "
+            'declare the alphabet explicitly with (set-info :alphabet "…")',
+            oversized_line,
+        )
+    alphabet = tuple(dict.fromkeys(declared)) if declared is not None else tuple(sorted(inferred))
+    if not alphabet:
+        alphabet = ("a", "b")
+    script = SmtScript(alphabet=alphabet)
+    translator = _Translator(alphabet)
+
+    for form, line in forms:
+        translator.line = line
+        if not isinstance(form, list) or not form or not isinstance(form[0], str):
+            raise SmtLibError(f"expected a command, got {form!r}", line)
+        head = form[0]
+        if head == "set-logic":
+            script.logic = str(form[1])
+            script.commands.append(SetLogic(script.logic))
+        elif head == "set-info":
+            keyword = str(form[1])
+            value = form[2] if len(form) > 2 else None
+            script.info[keyword] = str(value) if isinstance(value, SString) else value
+            if keyword == ":status" and isinstance(value, str):
+                script.expected_status = value
+            script.commands.append(SetInfo(keyword, value))
+        elif head == "set-option":
+            script.commands.append(SetOption(str(form[1]), form[2] if len(form) > 2 else None))
+        elif head in ("declare-const", "declare-fun"):
+            if head == "declare-fun":
+                if len(form) != 4 or form[2] != []:
+                    raise SmtLibError("only 0-ary declare-fun is supported", line)
+                name, sort = form[1], form[3]
+            else:
+                if len(form) != 3:
+                    raise SmtLibError("declare-const takes a name and a sort", line)
+                name, sort = form[1], form[2]
+            if not isinstance(name, str) or not isinstance(sort, str):
+                raise SmtLibError("malformed declaration", line)
+            if sort not in ("String", "Int"):
+                raise SmtLibError(f"unsupported sort {sort!r}", line)
+            if name in translator.sorts:
+                raise SmtLibError(f"{name!r} is declared twice", line)
+            translator.sorts[name] = sort
+            script.commands.append(DeclareConst(name, sort))
+        elif head == "assert":
+            if len(form) != 2:
+                raise SmtLibError("assert takes one term", line)
+            body = form[1]
+            name: Optional[str] = None
+            if isinstance(body, list) and body and body[0] == "!":
+                if len(body) < 2:
+                    raise SmtLibError("! annotation needs a term", line)
+                annotations = body[2:]
+                for position in range(0, len(annotations) - 1, 2):
+                    if annotations[position] == ":named":
+                        name = str(annotations[position + 1])
+                body = body[1]
+            script.commands.append(AssertCommand(translator.atoms(body), name=name))
+        elif head in ("push", "pop"):
+            levels = form[1] if len(form) > 1 else 1
+            if not isinstance(levels, int) or levels < 0:
+                raise SmtLibError(f"{head} takes a non-negative numeral", line)
+            command = PushCommand(levels) if head == "push" else PopCommand(levels)
+            script.commands.append(command)
+        elif head == "check-sat":
+            script.commands.append(CheckSat())
+        elif head == "get-model":
+            script.commands.append(GetModel())
+        elif head == "get-unsat-core":
+            script.commands.append(GetUnsatCore())
+        elif head == "echo":
+            message = form[1] if len(form) > 1 else SString("")
+            script.commands.append(EchoCommand(str(message)))
+        elif head == "exit":
+            script.commands.append(ExitCommand())
+        elif head == "get-info":
+            script.commands.append(SetInfo(str(form[1]) if len(form) > 1 else "", None))
+        else:
+            raise SmtLibError(f"unsupported command {head!r}", line)
+    return script
+
+
+def parse_problem(text: str) -> Problem:
+    """Parse a single-query script into one :class:`Problem`.
+
+    Push/pop commands are honoured; the returned problem conjoins the
+    assertions active at the end of the script (the common corpus shape:
+    declarations, asserts, one ``check-sat``).
+    """
+    script = parse_script(text)
+    frames: List[List[Atom]] = [[]]
+    for command in script.commands:
+        if isinstance(command, AssertCommand):
+            frames[-1].extend(command.atoms)
+        elif isinstance(command, PushCommand):
+            for _ in range(command.levels):
+                frames.append([])
+        elif isinstance(command, PopCommand):
+            for _ in range(command.levels):
+                if len(frames) == 1:
+                    raise SmtLibError("pop past the base assertion level")
+                frames.pop()
+    name = str(script.info.get(":source", "") or "")
+    problem = Problem(alphabet=script.alphabet, name=name)
+    for frame in frames:
+        for atom in frame:
+            problem.add(atom)
+    return problem

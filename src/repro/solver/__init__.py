@@ -1,8 +1,10 @@
-"""String solvers: the position-procedure solver and the comparison baselines."""
+"""String solvers: the incremental session, the position-procedure solver
+and the comparison baselines."""
 
 from .config import SolverConfig
 from .result import SolveResult, Status, StringModel
-from .solver import PositionSolver
+from .solver import IncrementalPipeline, PositionSolver
+from .session import Session
 from .baseline import EagerReductionSolver
 from .enumerative import EnumerativeSolver
 from .bruteforce import brute_force_check
@@ -12,6 +14,8 @@ __all__ = [
     "SolveResult",
     "Status",
     "StringModel",
+    "Session",
+    "IncrementalPipeline",
     "PositionSolver",
     "EagerReductionSolver",
     "EnumerativeSolver",

@@ -42,6 +42,12 @@ class SolverConfig:
     #: verify every SAT model against the original problem (cheap, keeps the
     #: solver sound even in the presence of encoder bugs)
     verify_models: bool = True
+    #: capacity of the session pipeline's component-encoding memo (entries
+    #: are tag-automaton encodings keyed by predicate set and automata)
+    session_encoding_cache: int = 256
+    #: number of pinned per-branch incremental LIA solvers a session keeps
+    #: warm (least-recently-used branches beyond this are rebuilt on demand)
+    session_branch_solvers: int = 16
 
     def __post_init__(self) -> None:
         if not self.lia_cuts:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, Iterator, Optional, Union
 
 
 class Status(Enum):
@@ -22,13 +22,55 @@ class Status(Enum):
 
 @dataclass
 class StringModel:
-    """A model: words for string variables, integers for integer variables."""
+    """A model: words for string variables, integers for integer variables.
+
+    The mapping interface spans *both* sorts: ``model["x"]`` returns the
+    word of a string variable or the value of an integer variable (string
+    variables win on a name clash), ``in`` / iteration / ``get`` behave
+    accordingly, and :meth:`to_smtlib` renders the model the way the
+    ``get-model`` command of the SMT-LIB frontend prints it.
+    """
 
     strings: Dict[str, str] = field(default_factory=dict)
     integers: Dict[str, int] = field(default_factory=dict)
 
-    def __getitem__(self, name: str) -> str:
-        return self.strings[name]
+    def __getitem__(self, name: str) -> Union[str, int]:
+        if name in self.strings:
+            return self.strings[name]
+        return self.integers[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.strings or name in self.integers
+
+    def __iter__(self) -> Iterator[str]:
+        seen = dict.fromkeys(self.strings)
+        for name in self.integers:
+            seen.setdefault(name, None)
+        return iter(seen)
+
+    def __len__(self) -> int:
+        return len(set(self.strings) | set(self.integers))
+
+    def get(self, name: str, default=None):
+        if name in self.strings:
+            return self.strings[name]
+        return self.integers.get(name, default)
+
+    def to_smtlib(self) -> str:
+        """Render the model as an SMT-LIB ``get-model`` response."""
+        # One source of truth for literal rendering: the frontend printer.
+        # (Imported lazily — repro.smtlib is a sibling package that loads
+        # after this module.)
+        from ..smtlib.printer import _int_literal, _string_literal
+
+        lines = ["("]
+        for name in sorted(self.strings):
+            literal = _string_literal(self.strings[name])
+            lines.append(f"  (define-fun {name} () String {literal})")
+        for name in sorted(self.integers):
+            lines.append(f"  (define-fun {name} () Int {_int_literal(self.integers[name])})")
+        lines.append(")")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -46,6 +88,12 @@ class SolveResult:
     #: aggregated SAT/simplex counters (decisions, propagations, conflicts,
     #: theory_checks, learned_clauses, restarts, pivots, cache_hits, ...)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: for UNSAT: indices (into the checked problem's atom list) of the
+    #: atoms the refutation participants map back to — an over-approximated
+    #: unsat core seeded from the LIA conflict provenance.  ``None`` means
+    #: the participants could not be tracked (callers must treat every atom
+    #: as a candidate).
+    core_atoms: Optional[FrozenSet[int]] = None
 
     @property
     def is_sat(self) -> bool:

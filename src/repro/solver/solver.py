@@ -22,13 +22,51 @@ Pipeline for an input problem (a conjunction of string atoms):
 ``UNSAT`` is only reported when every branch was refuted exactly (no budget
 was exceeded, no approximation was used); otherwise the solver answers
 ``UNKNOWN`` — mirroring the OOR/unknown accounting of the paper's Table 1.
+
+Incremental architecture
+------------------------
+
+The pipeline is built to be driven repeatedly with *closely related*
+problems — the access pattern of :class:`repro.Session`, whose clients
+(symbolic executors, the SMT-LIB frontend) issue long chains of checks over
+a growing/shrinking assertion stack.  Every stage is cached, keyed by the
+content of the assertion prefix it depends on:
+
+* **normalisation** — :class:`NormalForm` per atom-tuple, with a shared
+  :class:`~repro.strings.normal_form.NormalizationCache` keeping the
+  per-variable automata identity-stable across calls;
+* **decomposition** — :func:`repro.eqsolver.decompose` memoized on the
+  equations plus the (identity-stable) automata of the equation variables,
+  so the produced :class:`Branch` objects are reused verbatim;
+* **component encodings** — the tag-automaton encodings are memoized by the
+  component's predicate set and automata; a new atom only re-encodes the
+  component whose variables it touches (prefixes are content-derived, so an
+  untouched component keeps its LIA variable names);
+* **branch LIA solvers** — one incremental :class:`~repro.lia.LiaSolver`
+  assertion stack is pinned per live branch.  Each check computes the set
+  of LIA *parts* the branch needs, pops solver levels whose parts are no
+  longer wanted, and pushes one level with the delta.  The solver's CNF
+  cache, learned theory clauses and simplex rows survive across checks —
+  extending PR 1's within-check MBQI reuse to whole sessions.  MBQI
+  instantiation lemmas ride along in the level that derived them and are
+  retracted exactly when a dependency of that level disappears.
+
+On ``UNSAT`` the pipeline reports *refutation participants*: the
+:class:`~repro.lia.LiaResult.conflict_vars` of each branch refutation are
+mapped through the asserted parts back to normal-form variables and then —
+via :meth:`NormalForm.atoms_touching` provenance — to input-atom indices
+(surfaced as ``SolveResult.core_atoms``).  :meth:`repro.Session.unsat_core`
+uses this as the candidate set for deletion-based core minimisation.
+
+:class:`PositionSolver` keeps the historical one-shot interface as a thin
+wrapper over a throwaway :class:`repro.Session`.
 """
 
 from __future__ import annotations
 
-import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..automata.enumeration import shortest_word
 from ..automata.nfa import Nfa
@@ -44,22 +82,54 @@ from ..core.predicates import (
 from ..core.single import SingleEncoding, encode_single
 from ..core.system import SystemEncoding, encode_system
 from ..core.witness import extract_assignment
-from ..eqsolver import Branch, decompose
+from ..eqsolver import Branch, DecompositionResult, decompose
 from ..lia import LiaSolver, LiaStatus, conj, eq, gt, var
 from ..lia import Formula as LiaFormula
 from ..lia import LinExpr
-from ..strings.ast import Problem, length_variable
-from ..strings.normal_form import NormalForm, normalize
+from ..strings.ast import Problem, RegexMembership, length_variable
+from ..strings.normal_form import NormalForm, NormalizationCache, normalize
 from ..strings.semantics import eval_problem
 from .config import SolverConfig
 from .result import SolveResult, Status, Stopwatch, StringModel
 
 Encoding = Union[SingleEncoding, SystemEncoding]
 
+#: hashable key of one LIA part of a branch conjunction
+PartKey = Tuple
 
-@dataclass
+
+class _Lru(OrderedDict):
+    """A tiny LRU mapping used for every pipeline cache."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        self.capacity = capacity
+
+    def lookup(self, key):
+        if key in self:
+            self.move_to_end(key)
+            return self[key]
+        return None
+
+    def store(self, key, value) -> None:
+        self[key] = value
+        self.move_to_end(key)
+        while len(self) > self.capacity:
+            self.popitem(last=False)
+
+
+@dataclass(eq=False)
 class _Component:
-    """A group of position predicates sharing string variables."""
+    """A group of position predicates sharing string variables.
+
+    Prepared components (with their encodings, ¬contains encoders and the
+    master transition counters of the MBQI loop) are cached across checks
+    and reused verbatim while no new atom touches their variables.
+
+    ``eq=False`` keeps the default identity hash: components appear inside
+    part keys (``("enc", component)``), which both addresses them and keeps
+    them alive for as long as a pinned branch solver asserts them.
+    """
 
     predicates: List[PositionPredicate] = field(default_factory=list)
     contains: List[NotContains] = field(default_factory=list)
@@ -69,6 +139,23 @@ class _Component:
     #: lazily computed, shared by every MBQI round of the branch (the base
     #: transition counters of the master encoding never change across rounds)
     master_counts: Optional[Dict[Tuple, LinExpr]] = None
+    #: lazily computed variable set of the encoding formula (for mapping
+    #: LIA conflict participants back to this component)
+    formula_vars: Optional[FrozenSet[str]] = None
+
+    def formula_variables(self) -> FrozenSet[str]:
+        if self.formula_vars is None:
+            self.formula_vars = frozenset(self.encoding.formula.variables())
+        return self.formula_vars
+
+
+@dataclass
+class _BranchSolver:
+    """One pinned LIA assertion stack (see the module docstring)."""
+
+    solver: LiaSolver
+    #: per pushed level: the part keys asserted at that level
+    levels: List[List[PartKey]] = field(default_factory=list)
 
 
 @dataclass
@@ -79,34 +166,81 @@ class _BranchOutcome:
     lia_queries: int = 0
     exact: bool = True
     stats: Dict[str, int] = field(default_factory=dict)
+    #: for UNSAT: normal-form variables the refutation touched (empty set
+    #: means "unknown participants" — callers must widen to everything)
+    participant_vars: Optional[Set[str]] = None
+    #: for UNSAT: input-atom indices identified directly (integer parts)
+    participant_atoms: Set[int] = field(default_factory=set)
 
 
-class PositionSolver:
-    """String solver with the paper's position-constraint decision procedure."""
+def _atom_key(atom) -> Tuple:
+    """A hashable content key for one input atom.
+
+    Atoms are frozen dataclasses and hash by value, except that
+    ``RegexMembership`` may carry an ``Nfa``; the automaton itself goes
+    into the key (identity hash — ``Nfa`` defines no ``__eq__``), which
+    also keeps it alive for as long as any cache entry is keyed by it, so
+    the identity can never be recycled while the key is live.
+    """
+    if isinstance(atom, RegexMembership) and isinstance(atom.language, Nfa):
+        return ("re-nfa", atom.var, atom.language, atom.positive)
+    return ("atom", atom)
+
+
+class IncrementalPipeline:
+    """The cached, incremental solving pipeline behind :class:`repro.Session`.
+
+    One pipeline instance serves one logical assertion stack: its caches are
+    keyed by content, so feeding it arbitrary problems is *correct*, but the
+    reuse (and the memory held by the caches) is designed for sequences of
+    problems sharing long prefixes.
+    """
 
     def __init__(self, config: Optional[SolverConfig] = None) -> None:
         self.config = config or SolverConfig()
+        self.normalization_cache = NormalizationCache()
+        self._normal_forms: _Lru = _Lru(64)
+        self._decompositions: _Lru = _Lru(32)
+        self._components: _Lru = _Lru(self.config.session_encoding_cache)
+        self._branch_solvers: _Lru = _Lru(self.config.session_branch_solvers)
+        self.counters: Dict[str, int] = {
+            "checks": 0,
+            "normal_form_hits": 0,
+            "normal_form_misses": 0,
+            "decomposition_hits": 0,
+            "decomposition_misses": 0,
+            "component_hits": 0,
+            "component_misses": 0,
+            "branch_solver_reuses": 0,
+            "branch_solver_creates": 0,
+            "branch_solver_rebuilds": 0,
+            "lia_parts_asserted": 0,
+            "lia_parts_reused": 0,
+        }
 
     # ------------------------------------------------------------------
     def check(self, problem: Problem) -> SolveResult:
-        """Decide satisfiability of ``problem``."""
+        """Decide satisfiability of ``problem`` (reusing every warm cache)."""
+        self.counters["checks"] += 1
         watch = Stopwatch(self.config.timeout)
-        normal_form = normalize(problem)
 
-        decomposition = decompose(
-            normal_form.equations,
-            normal_form.automata,
-            max_branches=self.config.max_branches,
-            max_noodles=self.config.max_noodles,
-        )
-        branches = decomposition.branches
-        if not normal_form.equations:
-            branches = [Branch(dict(normal_form.automata))]
+        atoms_key = (problem.alphabet,) + tuple(_atom_key(atom) for atom in problem.atoms)
+        normal_form = self._normal_forms.lookup(atoms_key)
+        if normal_form is None:
+            self.counters["normal_form_misses"] += 1
+            normal_form = normalize(problem, cache=self.normalization_cache)
+            self._normal_forms.store(atoms_key, normal_form)
+        else:
+            self.counters["normal_form_hits"] += 1
 
-        all_exact = decomposition.complete
+        branches, branch_fp_base, all_exact = self._decompose(normal_form)
+
         lia_queries = 0
         saw_unknown = False
         stats: Dict[str, int] = {}
+        participant_vars: Set[str] = set()
+        participant_atoms: Set[int] = set()
+        participants_known = True
 
         def merge_stats(delta: Dict[str, int]) -> None:
             for key, value in delta.items():
@@ -116,7 +250,9 @@ class PositionSolver:
             if watch.expired():
                 return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason="timeout",
                                    branches_explored=index, lia_queries=lia_queries, stats=stats)
-            outcome = self._solve_branch(problem, normal_form, branch, index, watch)
+            outcome = self._solve_branch(
+                problem, normal_form, branch, index, (branch_fp_base, index), watch
+            )
             lia_queries += outcome.lia_queries
             merge_stats(outcome.stats)
             if outcome.status is Status.SAT:
@@ -135,6 +271,12 @@ class PositionSolver:
                 saw_unknown = True
             if not outcome.exact:
                 all_exact = False
+            if outcome.status is Status.UNSAT:
+                if outcome.participant_vars or outcome.participant_atoms:
+                    participant_vars |= outcome.participant_vars or set()
+                    participant_atoms |= outcome.participant_atoms
+                else:
+                    participants_known = False
 
         if saw_unknown or not all_exact:
             return SolveResult(
@@ -145,13 +287,62 @@ class PositionSolver:
                 lia_queries=lia_queries,
                 stats=stats,
             )
+
+        core_atoms: Optional[FrozenSet[int]] = None
+        if participants_known:
+            # Branches pruned inside the decomposition (empty refinements)
+            # implicate the equations and the memberships of their
+            # variables; fold the equation variables in wholesale.
+            for lhs, rhs in normal_form.equations:
+                participant_vars.update(lhs)
+                participant_vars.update(rhs)
+            participant_atoms.update(normal_form.atoms_touching(participant_vars))
+            core_atoms = frozenset(participant_atoms)
         return SolveResult(
             Status.UNSAT,
             elapsed=watch.elapsed(),
             branches_explored=len(branches),
             lia_queries=lia_queries,
             stats=stats,
+            core_atoms=core_atoms,
         )
+
+    # ------------------------------------------------------------------
+    # Decomposition (cached)
+    # ------------------------------------------------------------------
+    def _decompose(self, normal_form: NormalForm) -> Tuple[List[Branch], Tuple, bool]:
+        """Run (or reuse) the equation elimination for this normal form."""
+        if not normal_form.equations:
+            branch = Branch(dict(normal_form.automata))
+            return [branch], ("noeq", normal_form.alphabet), True
+
+        eq_vars: Dict[str, None] = {}
+        for lhs, rhs in normal_form.equations:
+            for name in lhs + rhs:
+                eq_vars.setdefault(name, None)
+        eq_automata = {name: normal_form.automata[name] for name in eq_vars}
+        # The automata objects go into the key directly (identity hash +
+        # keepalive): an id()-based key could silently collide after the
+        # object was collected and its address recycled.
+        key = (
+            tuple(normal_form.equations),
+            tuple(eq_automata.items()),
+            self.config.max_branches,
+            self.config.max_noodles,
+        )
+        decomposition: Optional[DecompositionResult] = self._decompositions.lookup(key)
+        if decomposition is None:
+            self.counters["decomposition_misses"] += 1
+            decomposition = decompose(
+                normal_form.equations,
+                eq_automata,
+                max_branches=self.config.max_branches,
+                max_noodles=self.config.max_noodles,
+            )
+            self._decompositions.store(key, decomposition)
+        else:
+            self.counters["decomposition_hits"] += 1
+        return decomposition.branches, ("eq", key), decomposition.complete
 
     # ------------------------------------------------------------------
     # Branch preparation
@@ -160,7 +351,8 @@ class PositionSolver:
         self, normal_form: NormalForm, branch: Branch
     ) -> Tuple[Optional[List[PositionPredicate]], Optional[List[NotContains]], Dict[str, Nfa], str]:
         """Apply the branch substitution to the position predicates."""
-        automata = dict(branch.automata)
+        automata = dict(normal_form.automata)
+        automata.update(branch.automata)
         regular: List[PositionPredicate] = []
         contains: List[NotContains] = []
         for predicate in normal_form.predicates:
@@ -189,6 +381,57 @@ class PositionSolver:
                 return None, None, automata, f"unsupported predicate {predicate!r}"
         return regular, contains, automata, ""
 
+    def _prepare_component(
+        self,
+        index: int,
+        position: int,
+        predicates: List[PositionPredicate],
+        contains: List[NotContains],
+        variables: Set[str],
+        automata: Dict[str, Nfa],
+    ) -> _Component:
+        """Build (or reuse) the encoding of one predicate component.
+
+        The LIA-variable prefix is positional (``b0.c1.`` — the historical
+        naming, which keeps the LIA search behaviour of the one-shot path
+        bit-identical to earlier releases), while the cache key is pure
+        content (prefix + predicates + automata).  Component groups are
+        created in predicate order, so under the grow-only session access
+        pattern positions — and therefore prefixes and cache keys — stay
+        stable; a component *merge* shifts the positions after it, which
+        costs a re-encode of those components on the next check.
+        """
+        names = sorted(variables)
+        prefix = f"b{index}.c{position}."
+        key = (
+            prefix,
+            tuple(predicates),
+            tuple(contains),
+            tuple((name, automata[name]) for name in names),
+        )
+        component = self._components.lookup(key)
+        if component is not None:
+            self.counters["component_hits"] += 1
+            return component
+        self.counters["component_misses"] += 1
+        component = _Component(
+            predicates=list(predicates), contains=list(contains), variables=set(variables)
+        )
+        if len(component.predicates) == 1 and not component.contains:
+            component.encoding = encode_single(
+                component.predicates[0], automata, prefix=prefix,
+                extra_variables=[v for v in names if v not in component.predicates[0].string_variables()],
+            )
+        else:
+            component.encoding = encode_system(
+                component.predicates, automata, prefix=prefix, extra_variables=names
+            )
+        for nc_index, predicate in enumerate(component.contains):
+            encoder = NotContainsEncoder(predicate, automata, index=nc_index)
+            component.encoders.append((predicate, encoder if encoder.languages_are_flat() else None))
+        self._components.store(key, component)
+        return component
+
     def _build_components(
         self,
         regular: List[PositionPredicate],
@@ -196,33 +439,36 @@ class PositionSolver:
         normal_form: NormalForm,
         branch: Branch,
         automata: Dict[str, Nfa],
-        remaining: List[str],
         index: int,
     ) -> List[_Component]:
         """Group predicates into components of shared variables and encode each."""
-        components: List[_Component] = []
+        groups: List[Tuple[List[PositionPredicate], List[NotContains], Set[str]]] = []
 
-        def component_for(names: Set[str]) -> _Component:
-            hit: Optional[_Component] = None
-            for component in components:
-                if component.variables & names:
+        def group_for(names: Set[str]):
+            hit = None
+            # Iterate over a snapshot: merging removes entries from
+            # ``groups``, and removing during iteration would skip the
+            # element after each merged group (leaving a variable split
+            # across two components when a predicate bridges 3+ groups).
+            for group in list(groups):
+                if group[2] & names:
                     if hit is None:
-                        hit = component
+                        hit = group
                     else:  # merge
-                        hit.predicates.extend(component.predicates)
-                        hit.contains.extend(component.contains)
-                        hit.variables |= component.variables
-                        components.remove(component)
+                        hit[0].extend(group[0])
+                        hit[1].extend(group[1])
+                        hit[2].update(group[2])
+                        groups.remove(group)
             if hit is None:
-                hit = _Component()
-                components.append(hit)
-            hit.variables |= names
+                hit = ([], [], set())
+                groups.append(hit)
+            hit[2].update(names)
             return hit
 
         for predicate in regular:
-            component_for(set(predicate.string_variables())).predicates.append(predicate)
+            group_for(set(predicate.string_variables()))[0].append(predicate)
         for predicate in contains:
-            component_for(set(predicate.string_variables())).contains.append(predicate)
+            group_for(set(predicate.string_variables()))[1].append(predicate)
 
         # Variables whose length is referenced by the integer constraints but
         # that belong to no predicate need a (predicate-free) encoding so that
@@ -237,31 +483,18 @@ class PositionSolver:
                     else (original,)
                 )
                 referenced.update(expansion)
-        uncovered = [name for name in referenced if name in automata and not any(name in c.variables for c in components)]
+        uncovered = [name for name in referenced if name in automata and not any(name in g[2] for g in groups)]
         if uncovered:
-            leftover = _Component(variables=set(uncovered))
-            components.append(leftover)
+            groups.append(([], [], set(uncovered)))
 
-        for position, component in enumerate(components):
-            prefix = f"b{index}.c{position}."
-            extra = sorted(component.variables)
-            if len(component.predicates) == 1 and not component.contains:
-                component.encoding = encode_single(
-                    component.predicates[0], automata, prefix=prefix,
-                    extra_variables=[v for v in extra if v not in component.predicates[0].string_variables()],
-                )
-            else:
-                component.encoding = encode_system(
-                    component.predicates, automata, prefix=prefix, extra_variables=extra
-                )
-            for nc_index, predicate in enumerate(component.contains):
-                encoder = NotContainsEncoder(predicate, automata, index=nc_index)
-                component.encoders.append((predicate, encoder if encoder.languages_are_flat() else None))
-        return components
+        return [
+            self._prepare_component(index, position, predicates, nc, variables, automata)
+            for position, (predicates, nc, variables) in enumerate(groups)
+        ]
 
     def _length_links(
         self, normal_form: NormalForm, branch: Branch, components: List[_Component]
-    ) -> LiaFormula:
+    ) -> List[Tuple[str, LiaFormula]]:
         """Tie the reserved ``@len.x`` variables to tag counters of the encodings."""
 
         def length_of(name: str) -> Optional[LinExpr]:
@@ -275,7 +508,7 @@ class PositionSolver:
             for name in normal_form.integer_formula.variables()
             if name.startswith("@len.")
         ]
-        links = []
+        links: List[Tuple[str, LiaFormula]] = []
         for name in referenced:
             expansion = (
                 branch.expand(name)
@@ -291,8 +524,71 @@ class PositionSolver:
                     break
                 total = total + expr
             if covered:
-                links.append(eq(var(length_variable(name)), total))
-        return conj(links)
+                links.append((name, eq(var(length_variable(name)), total)))
+        return links
+
+    # ------------------------------------------------------------------
+    # Branch LIA solver management
+    # ------------------------------------------------------------------
+    def _branch_solver(self, fingerprint: Tuple, parts: List[Tuple[PartKey, LiaFormula]]) -> LiaSolver:
+        """Pin (or reuse) the incremental LIA solver of one branch.
+
+        Pops the deepest suffix of levels holding a part that is no longer
+        wanted, then pushes one level asserting the parts not yet on the
+        stack.  MBQI lemmas asserted later during the check live in that
+        new level (untracked), so they persist exactly as long as every
+        tracked part beneath them does.
+        """
+        state: Optional[_BranchSolver] = self._branch_solvers.lookup(fingerprint)
+        if state is None:
+            self.counters["branch_solver_creates"] += 1
+            state = _BranchSolver(solver=LiaSolver(self.config.lia))
+            self._branch_solvers.store(fingerprint, state)
+        else:
+            self.counters["branch_solver_reuses"] += 1
+
+        wanted = {key for key, _ in parts}
+        keep = 0
+        for level_keys in state.levels:
+            if all(key in wanted for key in level_keys):
+                keep += 1
+            else:
+                break
+        if keep < len(state.levels):
+            # Retracting a *component encoding* would leave its (large)
+            # Tseitin clause set and theory atoms behind as dead weight the
+            # SAT search still has to assign — reuse would then cost more
+            # than it saves.  Rebuild the context instead; retracted small
+            # parts (integer conjuncts, length links) pop cheaply.
+            dropped_encoding = any(
+                key[0] == "enc"
+                for level_keys in state.levels[keep:]
+                for key in level_keys
+            )
+            if dropped_encoding:
+                self.counters["branch_solver_rebuilds"] += 1
+                state.solver = LiaSolver(self.config.lia)
+                state.levels = []
+        while len(state.levels) > keep:
+            state.solver.pop()
+            state.levels.pop()
+
+        asserted: Set[PartKey] = set()
+        for level_keys in state.levels:
+            asserted.update(level_keys)
+        delta = [(key, formula) for key, formula in parts if key not in asserted]
+        self.counters["lia_parts_reused"] += len(parts) - len(delta)
+        self.counters["lia_parts_asserted"] += len(delta)
+        if delta or not state.levels:
+            # Re-checking an unchanged stack must not grow it: with an
+            # empty delta the existing top level is reused, and any MBQI
+            # lemmas of this check join it — sound, because that level is
+            # popped together with (or before) every part it depends on.
+            state.solver.push()
+            for _key, formula in delta:
+                state.solver.add_assertion(formula)
+            state.levels.append([key for key, _ in delta])
+        return state.solver
 
     # ------------------------------------------------------------------
     def _solve_branch(
@@ -301,6 +597,7 @@ class PositionSolver:
         normal_form: NormalForm,
         branch: Branch,
         index: int,
+        fingerprint: Tuple,
         watch: Stopwatch,
     ) -> _BranchOutcome:
         regular, contains, automata, error = self._expand_predicates(normal_form, branch)
@@ -313,31 +610,50 @@ class PositionSolver:
         # language; they receive their shortest word in the final model.
         for name in remaining:
             if automata[name].trim().is_empty() and not automata[name].accepts(""):
-                return _BranchOutcome(Status.UNSAT)
+                return _BranchOutcome(
+                    Status.UNSAT,
+                    participant_vars=self._close_participants({name}, branch),
+                )
 
         try:
             components = self._build_components(
-                regular, contains, normal_form, branch, automata, remaining, index
+                regular, contains, normal_form, branch, automata, index
             )
         except Exception as failure:  # pragma: no cover - defensive
             return _BranchOutcome(Status.UNKNOWN, reason=f"encoding failed: {failure}", exact=False)
 
-        parts: List[LiaFormula] = [normal_form.integer_formula, self._length_links(normal_form, branch, components)]
+        # Assemble the branch conjunction as keyed parts (see the module
+        # docstring): integer conjuncts carry their source-atom index,
+        # length links their variable, encodings their component cache
+        # identity — the keys drive both the incremental assertion stack
+        # and the conflict-participant mapping.
+        parts: List[Tuple[PartKey, LiaFormula]] = []
+        int_parts: List[Tuple[LiaFormula, int]] = []
+        for formula, atom_index in normal_form.integer_parts:
+            parts.append((("int", formula), formula))
+            int_parts.append((formula, atom_index))
+        links = self._length_links(normal_form, branch, components)
+        for name, formula in links:
+            parts.append((("link", formula), formula))
         exact = True
+        approximations: List[Tuple[LiaFormula, Set[str]]] = []
         for component in components:
-            parts.append(component.encoding.formula)
+            parts.append((("enc", component), component.encoding.formula))
             for predicate, encoder in component.encoders:
                 if encoder is None:
                     exact = False
                     needle = LinExpr.sum_of(component.encoding.length_of(n) for n in predicate.needle)
                     haystack = LinExpr.sum_of(component.encoding.length_of(n) for n in predicate.haystack)
-                    parts.append(gt(needle, haystack))
+                    formula = gt(needle, haystack)
+                    parts.append((("approx", formula), formula))
+                    approximations.append((formula, set(predicate.string_variables())))
 
         # The MBQI refinement loop re-checks the same large conjunction with
         # one small lemma added per round.  With ``incremental_lia`` the base
-        # parts are asserted once on an incremental solver and every round
+        # parts live on the branch's pinned assertion stack and every round
         # only encodes its new lemma (atom maps, Tseitin clauses, learned
-        # theory clauses and the simplex tableau survive across rounds).
+        # theory clauses and the simplex tableau survive across rounds *and*
+        # across checks).
         lemmas: List[LiaFormula] = []
         queries = 0
         stats: Dict[str, int] = {}
@@ -347,9 +663,8 @@ class PositionSolver:
                 stats[key] = stats.get(key, 0) + value
 
         incremental = self.config.incremental_lia
-        solver = LiaSolver(self.config.lia)
         if incremental:
-            solver.add_assertion(conj(parts))
+            solver = self._branch_solver(fingerprint, parts)
         for _round in range(self.config.max_instantiation_rounds):
             if watch.expired():
                 return _BranchOutcome(Status.TIMEOUT, reason="timeout", lia_queries=queries,
@@ -359,10 +674,16 @@ class PositionSolver:
                 result = solver.check(deadline=watch.deadline)
             else:
                 solver = LiaSolver(self.config.lia)
-                result = solver.check(conj(parts + lemmas), deadline=watch.deadline)
+                result = solver.check(
+                    conj([formula for _, formula in parts] + lemmas), deadline=watch.deadline
+                )
             merge_stats(result.stats)
             if result.status is LiaStatus.UNSAT:
-                return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact, stats=stats)
+                vars_, atoms_ = self._map_participants(
+                    result.conflict_vars, int_parts, links, components, approximations, branch
+                )
+                return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact, stats=stats,
+                                      participant_vars=vars_, participant_atoms=atoms_)
             if result.status is LiaStatus.UNKNOWN:
                 status = Status.TIMEOUT if watch.expired() else Status.UNKNOWN
                 return _BranchOutcome(status, reason=result.reason, lia_queries=queries,
@@ -422,6 +743,59 @@ class PositionSolver:
                               lia_queries=queries, exact=False, stats=stats)
 
     # ------------------------------------------------------------------
+    # Refutation participants
+    # ------------------------------------------------------------------
+    def _close_participants(self, names: Set[str], branch: Branch) -> Set[str]:
+        """Close a participant set under the branch substitution.
+
+        A refutation touching a refined noodle variable implicates the
+        eliminated variable whose split produced it.
+        """
+        closed = set(names)
+        for eliminated, _parts in branch.substitution.items():
+            if set(branch.expand(eliminated)) & closed:
+                closed.add(eliminated)
+        return closed
+
+    def _map_participants(
+        self,
+        conflict_vars: FrozenSet[str],
+        int_parts: List[Tuple[LiaFormula, int]],
+        links: List[Tuple[str, LiaFormula]],
+        components: List[_Component],
+        approximations: List[Tuple[LiaFormula, Set[str]]],
+        branch: Branch,
+    ) -> Tuple[Set[str], Set[int]]:
+        """Map LIA conflict variables back to string variables / atom indices.
+
+        Returns ``(participant_vars, participant_atoms)``; an empty variable
+        set with no atoms means the refutation's participants are unknown
+        and callers must widen to the full assertion set.
+        """
+        if not conflict_vars:
+            return set(), set()
+        participant_vars: Set[str] = set()
+        participant_atoms: Set[int] = set()
+        for name in conflict_vars:
+            if name.startswith("@len."):
+                participant_vars.add(name[len("@len.") :])
+        for formula, atom_index in int_parts:
+            if conflict_vars.intersection(formula.variables()):
+                participant_atoms.add(atom_index)
+        for name, formula in links:
+            if conflict_vars.intersection(formula.variables()):
+                participant_vars.add(name)
+        for component in components:
+            if conflict_vars & component.formula_variables():
+                participant_vars.update(component.variables)
+        for formula, names in approximations:
+            if conflict_vars.intersection(formula.variables()):
+                participant_vars.update(names)
+        if not participant_vars and not participant_atoms:
+            return set(), set()
+        return self._close_participants(participant_vars, branch), participant_atoms
+
+    # ------------------------------------------------------------------
     def _build_model(
         self,
         problem: Problem,
@@ -441,3 +815,27 @@ class PositionSolver:
             full_strings[name] = "".join(strings.get(part, "") for part in expansion)
         integers = {name: lia_model.get(name, 0) for name in problem.integer_variables()}
         return StringModel(strings=full_strings, integers=integers)
+
+
+class PositionSolver:
+    """String solver with the paper's position-constraint decision procedure.
+
+    This is the classic one-shot interface: every :meth:`check` call builds
+    a throwaway :class:`repro.Session`, asserts the problem's atoms and
+    checks once — cold caches, exactly the historical semantics.  Clients
+    issuing chains of related checks should hold a :class:`repro.Session`
+    instead and let the incremental pipeline reuse its work.
+    """
+
+    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+        self.config = config or SolverConfig()
+
+    # ------------------------------------------------------------------
+    def check(self, problem: Problem) -> SolveResult:
+        """Decide satisfiability of ``problem``."""
+        from .session import Session
+
+        session = Session(config=self.config, alphabet=problem.alphabet, name=problem.name)
+        for atom in problem.atoms:
+            session.add(atom)
+        return session.check()

@@ -14,6 +14,21 @@ The transformation follows the paper:
    constraints ``P`` (as :mod:`repro.core.predicates` objects),
 5. integer constraints are collected into one LIA formula ``I`` that refers
    to string lengths through the reserved ``@len.<var>`` variables.
+
+Two facilities added for the incremental :class:`repro.Session` pipeline:
+
+* **provenance** — the normal form records, per input atom, the set of
+  normal-form variables its translation touched (``atom_variables``), and
+  keeps the integer constraints as separate per-atom conjuncts
+  (``integer_parts``).  Unsat-core extraction uses this to map refutation
+  participants back to the asserted atoms.
+* **caching** — :func:`normalize` accepts a :class:`NormalizationCache`
+  that memoizes regex compilation, complementation and the per-variable
+  membership intersections.  Besides saving the automata work on repeated
+  calls, the cache keeps the resulting :class:`~repro.automata.nfa.Nfa`
+  objects *identity-stable* across calls with a common assertion prefix,
+  which is what lets the downstream decomposition and encoding caches key
+  on object identity.
 """
 
 from __future__ import annotations
@@ -32,7 +47,7 @@ from ..core.predicates import (
     StrAt,
 )
 from ..lia import Formula as LiaFormula
-from ..lia import TRUE, conj
+from ..lia import LinExpr, TRUE, conj
 from .ast import (
     Atom,
     Contains,
@@ -63,35 +78,123 @@ class NormalForm:
     alphabet: Tuple[str, ...] = ()
     #: variables introduced by the normalisation (literals, prefix/suffix/contains witnesses)
     fresh_variables: List[str] = field(default_factory=list)
+    #: the integer constraints as separate conjuncts, one entry per
+    #: contributing input atom: ``(formula, atom_index)``
+    integer_parts: List[Tuple[LiaFormula, int]] = field(default_factory=list)
+    #: per input atom (aligned with ``Problem.atoms``): the normal-form
+    #: variables (string and integer) the atom's translation touched
+    atom_variables: List[Tuple[str, ...]] = field(default_factory=list)
 
     def string_variables(self) -> Tuple[str, ...]:
         return tuple(self.automata)
 
+    def atoms_touching(self, names) -> Tuple[int, ...]:
+        """Indices of input atoms whose translation touched any of ``names``.
+
+        This is the provenance step of unsat-core extraction: refutation
+        participants (normal-form variable names) are mapped back to the
+        asserted atoms that could have put them into play.
+        """
+        wanted = set(names)
+        hits = []
+        for index, touched in enumerate(self.atom_variables):
+            if wanted.intersection(touched):
+                hits.append(index)
+        return tuple(hits)
+
+
+class NormalizationCache:
+    """Memo tables shared by repeated :func:`normalize` calls.
+
+    Caches regex compilation, complementation, literal-word automata, the
+    universal automaton and the per-variable membership intersections.  The
+    cache is *content-addressed* (patterns, literal values, polarities), so
+    two calls sharing an assertion prefix receive the **same** ``Nfa``
+    objects back — downstream incremental caches rely on that identity.
+    ``Nfa``-valued languages are addressed by object identity and kept alive
+    by the cache so their ids stay unambiguous.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        #: per-table entry cap: a long-lived session must not grow memory
+        #: monotonically, so each memo evicts its oldest entries (FIFO)
+        #: beyond this bound — an eviction only costs a later re-compute
+        #: (and the downstream identity-keyed cache misses that follow)
+        self.capacity = capacity
+        self.languages: Dict[Tuple, Nfa] = {}
+        self.words: Dict[str, Nfa] = {}
+        self.universal: Dict[Tuple[str, ...], Nfa] = {}
+        self.intersections: Dict[Tuple, Nfa] = {}
+        self._keepalive: List[Nfa] = []
+        self._kept_ids: set = set()
+        self.hits = 0
+        self.misses = 0
+
+    def keep(self, nfa: Nfa) -> int:
+        """Pin an externally-supplied automaton and return its stable id."""
+        if id(nfa) not in self._kept_ids:
+            self._kept_ids.add(id(nfa))
+            self._keepalive.append(nfa)
+        return id(nfa)
+
+    def store(self, table: Dict, key, value) -> None:
+        """Insert into one memo table, evicting oldest entries over capacity."""
+        table[key] = value
+        while len(table) > self.capacity:
+            table.pop(next(iter(table)))
+
+
+#: membership key: content-addressed description of one membership constraint
+_MemberKey = Tuple
+
 
 class _Normalizer:
-    def __init__(self, problem: Problem) -> None:
+    def __init__(self, problem: Problem, cache: Optional[NormalizationCache] = None) -> None:
         self.problem = problem
+        self.cache = cache
         self.alphabet = tuple(problem.alphabet)
         self.fresh_counter = 0
         self.fresh_variables: List[str] = []
-        self.memberships: Dict[str, List[Nfa]] = {}
+        #: per variable: list of (content key, automaton) membership pairs
+        self.memberships: Dict[str, List[Tuple[_MemberKey, Nfa]]] = {}
         self.equations: List[VarEquation] = []
         self.predicates: List[PositionPredicate] = []
-        self.integer_parts: List[LiaFormula] = []
+        self.integer_parts: List[Tuple[LiaFormula, int]] = []
+        #: provenance: normal-form variables touched per input atom
+        self.atom_variables: List[Tuple[str, ...]] = []
+        self._touched: Dict[str, None] = {}
 
     # -- helpers ---------------------------------------------------------
+    def touch(self, *names: str) -> None:
+        for name in names:
+            self._touched.setdefault(name, None)
+
     def fresh_var(self, hint: str = "z") -> str:
         name = f"_{hint}{self.fresh_counter}"
         self.fresh_counter += 1
         self.fresh_variables.append(name)
+        self.touch(name)
         return name
 
-    def add_membership(self, variable: str, nfa: Nfa) -> None:
-        self.memberships.setdefault(variable, []).append(nfa)
+    def add_membership(self, variable: str, key: _MemberKey, nfa: Nfa) -> None:
+        self.touch(variable)
+        self.memberships.setdefault(variable, []).append((key, nfa))
+
+    def word_nfa(self, value: str) -> Nfa:
+        if self.cache is None:
+            return Nfa.from_word(value)
+        nfa = self.cache.words.get(value)
+        if nfa is None:
+            self.cache.misses += 1
+            nfa = Nfa.from_word(value)
+            self.cache.store(self.cache.words, value, nfa)
+        else:
+            self.cache.hits += 1
+        return nfa
 
     def literal_var(self, value: str) -> str:
         name = self.fresh_var("lit")
-        self.add_membership(name, Nfa.from_word(value))
+        self.add_membership(name, ("word", value), self.word_nfa(value))
         return name
 
     def flatten_term(self, string_term: StringTerm) -> Tuple[str, ...]:
@@ -104,18 +207,50 @@ class _Normalizer:
                 if element.value == "":
                     continue
                 names.append(self.literal_var(element.value))
+        self.touch(*names)
         return tuple(names)
 
-    def language_to_nfa(self, language, positive: bool) -> Nfa:
+    def language_to_nfa(self, language, positive: bool) -> Tuple[_MemberKey, Nfa]:
+        if isinstance(language, Nfa):
+            key: _MemberKey = (
+                "nfa",
+                self.cache.keep(language) if self.cache is not None else id(language),
+                positive,
+                self.alphabet,
+            )
+        else:
+            key = ("re", language, positive, self.alphabet)
+        if self.cache is not None:
+            cached = self.cache.languages.get(key)
+            if cached is not None:
+                self.cache.hits += 1
+                return key, cached
+            self.cache.misses += 1
         nfa = language if isinstance(language, Nfa) else compile_regex(language, self.alphabet)
         if not positive:
             nfa = complement(nfa, self.alphabet)
-        return nfa
+        if self.cache is not None:
+            self.cache.store(self.cache.languages, key, nfa)
+        return key, nfa
 
     # -- atom dispatch ----------------------------------------------------
     def visit(self, atom: Atom) -> None:
+        self._touched = {}
+        self._dispatch(atom)
+        self.atom_variables.append(tuple(self._touched))
+
+    def _touch_formula(self, formula: LiaFormula) -> None:
+        for name in formula.variables():
+            if name.startswith("@len."):
+                self.touch(name[len("@len.") :])
+            else:
+                self.touch(name)
+
+    def _dispatch(self, atom: Atom) -> None:
+        index = len(self.atom_variables)
         if isinstance(atom, RegexMembership):
-            self.add_membership(atom.var, self.language_to_nfa(atom.language, atom.positive))
+            key, nfa = self.language_to_nfa(atom.language, atom.positive)
+            self.add_membership(atom.var, key, nfa)
             return
         if isinstance(atom, WordEquation):
             lhs, rhs = self.flatten_term(atom.lhs), self.flatten_term(atom.rhs)
@@ -153,12 +288,17 @@ class _Normalizer:
             haystack = self.flatten_term(atom.haystack)
             if isinstance(atom.target, StringVar):
                 target = atom.target.name
+                self.touch(target)
             else:
                 target = self.literal_var(atom.target.value)
+            if isinstance(atom.index, LinExpr):
+                for name in atom.index.variables():
+                    self.touch(name)
             self.predicates.append(StrAt(target, haystack, atom.index, negated=not atom.positive))
             return
         if isinstance(atom, LengthConstraint):
-            self.integer_parts.append(atom.formula)
+            self._touch_formula(atom.formula)
+            self.integer_parts.append((atom.formula, index))
             return
         raise TypeError(f"unknown atom {atom!r}")
 
@@ -180,29 +320,64 @@ class _Normalizer:
         for name in variables:
             constraints = self.memberships.get(name)
             if not constraints:
-                automata[name] = Nfa.universal(self.alphabet)
+                if self.cache is not None:
+                    universal = self.cache.universal.get(self.alphabet)
+                    if universal is None:
+                        universal = Nfa.universal(self.alphabet)
+                        self.cache.universal[self.alphabet] = universal
+                    automata[name] = universal
+                else:
+                    automata[name] = Nfa.universal(self.alphabet)
                 continue
-            combined = constraints[0]
-            for extra in constraints[1:]:
-                combined = intersection(combined, extra)
-            combined = remove_epsilon(combined).trim() if combined.has_epsilon() else combined.trim()
-            if not combined.states:
-                combined = Nfa.empty_language()
-            automata[name] = combined
+            automata[name] = self._intersect([key for key, _ in constraints],
+                                             [nfa for _, nfa in constraints])
 
         return NormalForm(
             equations=self.equations,
             automata=automata,
-            integer_formula=conj(self.integer_parts) if self.integer_parts else TRUE,
+            integer_formula=conj([part for part, _ in self.integer_parts])
+            if self.integer_parts
+            else TRUE,
             predicates=self.predicates,
             alphabet=self.alphabet,
             fresh_variables=self.fresh_variables,
+            integer_parts=self.integer_parts,
+            atom_variables=self.atom_variables,
         )
 
+    def _intersect(self, keys: List[_MemberKey], nfas: List[Nfa]) -> Nfa:
+        """Intersect one variable's memberships (cached by content keys).
 
-def normalize(problem: Problem) -> NormalForm:
-    """Normalise a problem into ``E ∧ R ∧ I ∧ P``."""
-    normalizer = _Normalizer(problem)
+        The key is order-insensitive (intersection is commutative) so a
+        variable reaches the same automaton object no matter in which order
+        its memberships were asserted.
+        """
+        cache_key = (self.alphabet,) + tuple(sorted(map(repr, keys)))
+        if self.cache is not None:
+            cached = self.cache.intersections.get(cache_key)
+            if cached is not None:
+                self.cache.hits += 1
+                return cached
+            self.cache.misses += 1
+        combined = nfas[0]
+        for extra in nfas[1:]:
+            combined = intersection(combined, extra)
+        combined = remove_epsilon(combined).trim() if combined.has_epsilon() else combined.trim()
+        if not combined.states:
+            combined = Nfa.empty_language()
+        if self.cache is not None:
+            self.cache.store(self.cache.intersections, cache_key, combined)
+        return combined
+
+
+def normalize(problem: Problem, cache: Optional[NormalizationCache] = None) -> NormalForm:
+    """Normalise a problem into ``E ∧ R ∧ I ∧ P``.
+
+    ``cache`` (a :class:`NormalizationCache`) makes repeated calls cheap and
+    keeps the produced automata identity-stable across calls — the contract
+    the incremental :class:`repro.Session` pipeline builds on.
+    """
+    normalizer = _Normalizer(problem, cache=cache)
     for atom in problem.atoms:
         normalizer.visit(atom)
     return normalizer.result()

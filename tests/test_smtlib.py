@@ -1,0 +1,367 @@
+"""Tests for the SMT-LIB 2.6 frontend (lexer, parser, printer, runner).
+
+Covers the lexer corner cases, the conjunctive-fragment translation rules
+(including polarity handling and the ``str.contains`` argument swap), the
+parse → print → parse round trip over the committed corpus, and the
+CLI/runner path against the native-AST solver on a corpus subset.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro import PositionSolver, SolverConfig
+from repro.smtlib import (
+    PrintError,
+    ScriptRunner,
+    SmtLibError,
+    SString,
+    atom_to_sexpr,
+    parse_problem,
+    parse_script,
+    problem_to_smtlib,
+    read_sexprs,
+    run_script,
+)
+from repro.smtlib.__main__ import main as cli_main
+from repro.strings.ast import (
+    Contains,
+    LengthConstraint,
+    Problem,
+    RegexMembership,
+    StrAtAtom,
+    WordEquation,
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "benchmarks", "smtlib")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.smt2")))
+
+#: fast corpus subset for tests that actually solve (the full corpus runs
+#: in the CI smoke step, benchmarks/smtlib/check_corpus.py)
+FAST_SETS = ("thefuck-like", "django-like")
+FAST_FILES = [p for p in CORPUS_FILES if os.path.basename(p).startswith(FAST_SETS)]
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+def test_lexer_strings_comments_and_quoted_symbols():
+    forms = read_sexprs('; comment\n(assert (= x "a""b")) (|odd name| 12)')
+    assert len(forms) == 2
+    (assert_form, _), (quoted_form, _) = forms
+    literal = assert_form[1][2]
+    assert isinstance(literal, SString) and literal == 'a"b'
+    assert quoted_form == ["odd name", 12]
+
+
+def test_lexer_paren_literals_are_not_structural():
+    # the one-character literal "(" (or a quoted |)| symbol) must not be
+    # confused with a structural paren
+    forms = read_sexprs('(assert (= x "("))')
+    assert forms[0][0][1][2] == "("
+    forms = read_sexprs('(echo ")")')
+    assert isinstance(forms[0][0][1], SString)
+    assert run_script(
+        '(set-info :alphabet "ab()")(declare-const x String)'
+        '(assert (= x "("))(check-sat)'
+    ) == ["sat"]
+
+
+def test_oversized_range_requires_declared_alphabet():
+    wide = '(declare-const x String)(assert (str.in_re x (re.range "!" "z")))'
+    with pytest.raises(SmtLibError):
+        parse_script(wide)
+    # an explicit declaration makes the same script legal
+    script = parse_script('(set-info :alphabet "mz!")' + wide)
+    assert script.alphabet == ("m", "z", "!")
+
+
+def test_lexer_rejects_unbalanced_input():
+    with pytest.raises(SmtLibError):
+        read_sexprs("(assert (= x y)")
+    with pytest.raises(SmtLibError):
+        read_sexprs('(echo "open)')
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def test_parser_translates_the_fragment():
+    problem = parse_problem(
+        """
+        (set-logic QF_SLIA)
+        (set-info :alphabet "ab")
+        (declare-const x String)
+        (declare-const y String)
+        (declare-const c String)
+        (declare-const i Int)
+        (assert (str.in_re x (re.+ (str.to_re "a"))))
+        (assert (not (str.contains x "b")))
+        (assert (and (str.prefixof "a" x) (not (= x y))))
+        (assert (= c (str.at y i)))
+        (assert (or (< i 2) (> (+ i (str.len x)) 7)))
+        """
+    )
+    assert len(problem.atoms) == 6
+    assert isinstance(problem.atoms[0], RegexMembership)
+    contains = problem.atoms[1]
+    assert isinstance(contains, Contains) and not contains.positive
+    # SMT-LIB (str.contains x "b"): x is the haystack, "b" the needle.
+    assert contains.haystack[0].name == "x"
+    assert contains.needle[0].value == "b"
+    assert isinstance(problem.atoms[3], WordEquation) and not problem.atoms[3].positive
+    assert isinstance(problem.atoms[4], StrAtAtom)
+    assert isinstance(problem.atoms[5], LengthConstraint)
+    assert problem.alphabet == ("a", "b")
+
+
+def test_parser_negation_pushes_through_or():
+    problem = parse_problem(
+        """
+        (set-info :alphabet "ab")
+        (declare-const x String)
+        (declare-const y String)
+        (assert (not (or (= x y) (str.prefixof x y))))
+        """
+    )
+    assert len(problem.atoms) == 2
+    assert not problem.atoms[0].positive and not problem.atoms[1].positive
+
+
+def test_alphabet_inference_ignores_non_assert_literals():
+    # Complements are alphabet-relative: a stray literal in an echo or
+    # info value must not enlarge the inferred alphabet (it would flip
+    # this unsat complement query to sat).
+    base = (
+        "(declare-const x String)\n"
+        '(assert (not (str.in_re x (re.* (re.union (str.to_re "a") (str.to_re "b"))))))\n'
+        "(check-sat)\n"
+    )
+    assert run_script(base) == ["unsat"]
+    assert run_script(base + '(echo "done")') == ["unsat", "done"]
+    assert run_script('(set-info :source "xyz")\n' + base)[0] == "unsat"
+
+
+def test_parser_distinct_polarities():
+    header = (
+        '(set-info :alphabet "ab")(declare-const x String)'
+        "(declare-const y String)(declare-const z String)"
+    )
+    # positive n-ary distinct = conjunction of pairwise disequalities
+    problem = parse_problem(header + "(assert (distinct x y z))")
+    assert len(problem.atoms) == 3
+    assert all(isinstance(a, WordEquation) and not a.positive for a in problem.atoms)
+    # negated binary distinct = one equality
+    problem = parse_problem(header + "(assert (not (distinct x y)))")
+    assert len(problem.atoms) == 1 and problem.atoms[0].positive
+    # negated n-ary distinct means "some pair equal" — a disjunction the
+    # conjunctive fragment cannot represent; it must be rejected, never
+    # silently translated into the (wrong) conjunction of equalities
+    with pytest.raises(SmtLibError):
+        parse_problem(header + "(assert (not (distinct x y z)))")
+
+
+def test_normalization_cache_stays_bounded():
+    from repro.strings.normal_form import NormalizationCache, normalize
+
+    cache = NormalizationCache(capacity=8)
+    for index in range(40):
+        problem = Problem(alphabet=tuple("ab"))
+        problem.add(RegexMembership("x", "a" * (index % 30 + 1)))
+        normalize(problem, cache=cache)
+    assert len(cache.languages) <= 8
+    assert len(cache.intersections) <= 8
+
+
+def test_parser_rejects_negative_push_pop():
+    with pytest.raises(SmtLibError):
+        parse_script("(pop -1)")
+    with pytest.raises(SmtLibError):
+        parse_script("(push -2)")
+    with pytest.raises(SmtLibError):
+        run_script("(push 1)(pop 2)")  # pop past the base level
+
+
+def test_parser_malformed_terms_raise_smtlib_errors():
+    # malformed input must surface as SmtLibError (the CLI's contract),
+    # never as a raw IndexError/ValueError traceback
+    for bad in (
+        "(assert (!))",
+        '(declare-const x String)(assert (str.in_re x (re.*)))',
+        '(declare-const x String)(assert (str.in_re x (re.union)))',
+        '(declare-const x String)(assert (str.in_re x ((_ re.loop 3 1) (str.to_re "a"))))',
+    ):
+        with pytest.raises(SmtLibError):
+            parse_script(bad)
+
+
+def test_declared_alphabet_is_deduplicated():
+    script = parse_script('(set-info :alphabet "aab")(declare-const x String)(assert (= x "a"))')
+    assert script.alphabet == ("a", "b")
+
+
+def test_parser_alphabet_inference_from_literals_and_ranges():
+    script = parse_script(
+        """
+        (declare-const x String)
+        (assert (str.in_re x (re.++ (re.range "b" "d") (str.to_re "z"))))
+        (check-sat)
+        """
+    )
+    assert script.alphabet == ("b", "c", "d", "z")
+
+
+def test_parser_errors():
+    with pytest.raises(SmtLibError):
+        parse_problem("(assert (= x y))")  # undeclared constants
+    with pytest.raises(SmtLibError):
+        parse_problem("(declare-const x Bool)")  # unsupported sort
+    with pytest.raises(SmtLibError):
+        parse_problem("(declare-const x String)\n(assert (str.to_int x))")
+    with pytest.raises(SmtLibError):
+        parse_problem("(frobnicate)")
+    with pytest.raises(SmtLibError):
+        # positive disjunction of string atoms leaves the fragment
+        parse_problem(
+            "(set-info :alphabet \"ab\")(declare-const x String)"
+            "(declare-const y String)(assert (or (= x y) (str.prefixof x y)))"
+        )
+
+
+def test_parse_problem_honours_push_pop():
+    problem = parse_problem(
+        """
+        (set-info :alphabet "ab")
+        (declare-const x String)
+        (assert (str.in_re x (re.* (str.to_re "a"))))
+        (push 1)
+        (assert (= x "b"))
+        (pop 1)
+        (check-sat)
+        """
+    )
+    assert len(problem.atoms) == 1
+
+
+# ----------------------------------------------------------------------
+# Printer round trip
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES])
+def test_corpus_round_trip_fixpoint(path):
+    with open(path) as handle:
+        text = handle.read()
+    problem = parse_problem(text)
+    printed = problem_to_smtlib(problem)
+    reparsed = parse_problem(printed)
+    assert problem_to_smtlib(reparsed) == printed
+    assert reparsed.alphabet == problem.alphabet
+    assert len(reparsed.atoms) == len(problem.atoms)
+
+
+def test_printer_rejects_raw_nfa_memberships():
+    from repro.automata.nfa import Nfa
+
+    problem = Problem(alphabet=tuple("ab"))
+    problem.add(RegexMembership("x", Nfa.universal("ab")))
+    with pytest.raises(PrintError):
+        problem_to_smtlib(problem)
+
+
+def test_printer_escapes_pattern_specials():
+    problem = parse_problem(
+        '(set-info :alphabet "a.*")(declare-const x String)'
+        '(assert (str.in_re x (re.* (str.to_re ".*"))))'
+    )
+    rendered = atom_to_sexpr(problem.atoms[0])
+    # the literal dot/star survive as string literals, not regex operators
+    assert '(str.to_re ".")' in rendered and '(str.to_re "*")' in rendered
+    printed = problem_to_smtlib(problem)
+    assert problem_to_smtlib(parse_problem(printed)) == printed
+
+
+# ----------------------------------------------------------------------
+# Runner / CLI
+# ----------------------------------------------------------------------
+def test_runner_push_pop_model_and_core():
+    outputs = run_script(
+        """
+        (set-logic QF_S)
+        (set-info :alphabet "ab")
+        (declare-const x String)
+        (declare-const y String)
+        (assert (! (str.in_re x (re.* (re.++ (str.to_re "a") (str.to_re "b")))) :named mx))
+        (push 1)
+        (assert (! (str.in_re y (re.* (re.++ (str.to_re "a") (str.to_re "b")))) :named my))
+        (assert (! (not (= (str.++ x y) (str.++ y x))) :named comm))
+        (check-sat)
+        (get-unsat-core)
+        (pop 1)
+        (check-sat)
+        (get-model)
+        """,
+        config=SolverConfig(timeout=30.0),
+    )
+    assert outputs[0] == "unsat"
+    core = outputs[1].strip("()").split()
+    assert set(core) == {"mx", "my", "comm"}
+    assert outputs[2] == "sat"
+    assert outputs[3].startswith("(") and "define-fun x () String" in outputs[3]
+
+
+def test_runner_error_responses_and_echo():
+    outputs = run_script(
+        """
+        (set-info :alphabet "ab")
+        (declare-const x String)
+        (echo "hello")
+        (get-model)
+        (assert (str.in_re x (re.* (str.to_re "a"))))
+        (check-sat)
+        (get-unsat-core)
+        (exit)
+        (check-sat)
+        """
+    )
+    assert outputs == [
+        "hello",
+        '(error "no model available")',
+        "sat",
+        '(error "no unsat core available")',
+    ]
+
+
+@pytest.mark.parametrize("path", FAST_FILES, ids=[os.path.basename(p) for p in FAST_FILES])
+def test_cli_agrees_with_native_ast_path(path):
+    with open(path) as handle:
+        text = handle.read()
+    script = parse_script(text)
+    runner = ScriptRunner(config=SolverConfig(timeout=30.0))
+    runner.run_script(script, name=os.path.basename(path))
+    assert runner.verdicts, "no check-sat answer"
+    cli_verdict = runner.verdicts[-1]
+
+    native = PositionSolver(SolverConfig(timeout=30.0)).check(parse_problem(text))
+    assert cli_verdict == native.status.value
+    if script.expected_status in ("sat", "unsat"):
+        assert cli_verdict == script.expected_status
+
+
+def test_cli_main_runs_a_file(tmp_path, capsys):
+    path = tmp_path / "probe.smt2"
+    path.write_text(
+        '(set-info :alphabet "ab")\n(declare-const x String)\n'
+        '(assert (str.in_re x (re.+ (str.to_re "a"))))\n(check-sat)\n(get-model)\n'
+    )
+    assert cli_main([str(path)]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.splitlines()[0] == "sat"
+    assert 'define-fun x () String "a"' in captured.out
+
+
+def test_cli_main_reports_errors(tmp_path, capsys):
+    path = tmp_path / "broken.smt2"
+    path.write_text("(assert (= x y))\n")
+    assert cli_main([str(path)]) == 1
+    assert "error" in capsys.readouterr().err
