@@ -12,6 +12,12 @@ Four workloads are timed:
   branch-and-bound alone diverges).  Any verdict disagreeing with the
   ground truth counts as a wrong verdict and fails the gate — in quick CI
   mode too.
+* **distinct** — the n-ary ``distinct`` family (pairwise disequality
+  groups over universal, constrained and pigeonhole automata, with and
+  without length bounds) answered by the easy-case witness path.  The gate
+  (quick mode included): 0 wrong verdicts and *no timeouts* —
+  ``(distinct x y z)`` used to run out the clock inside the ``A^III``
+  system encoding.
 * **session** — a symbolic-execution-style chain of related ``check`` calls
   driven twice: through one incremental :class:`repro.Session` (warm
   pipeline caches, pinned branch LIA solvers) and as repeated one-shot
@@ -71,6 +77,12 @@ CUTS_INSTANCES = ("position-hard-comm-0", "position-hard-comm-3")
 #: per-instance timeout of the cuts workload (the acceptance bar is well
 #: below this; a timeout shows up as a non-``unsat`` status)
 CUTS_TIMEOUT = 25.0
+#: per-instance timeout of the distinct workload — the witness path
+#: answers in milliseconds, so a generous budget only ever catches a
+#: regression back into the encoding
+DISTINCT_TIMEOUT = 20.0
+#: distinct instances run in quick mode (the full list in ``run_distinct``)
+DISTINCT_QUICK = ("distinct-3", "distinct-5", "distinct-php-3-over-2")
 #: per-check timeout of the session workload
 SESSION_TIMEOUT = 60.0
 #: chain length of the session workload (quick mode runs a prefix)
@@ -244,6 +256,104 @@ def run_cuts(quick: bool) -> Dict:
     }
 
 
+def _distinct_problems():
+    from repro.lia import eq as lia_eq, ge, le
+    from repro.strings.ast import (
+        LengthConstraint,
+        Problem,
+        RegexMembership,
+        WordEquation,
+        str_len,
+        term,
+    )
+
+    def distinct(names):
+        return [
+            WordEquation(term(a), term(b), positive=False)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+        ]
+
+    problems = []
+    for count in (3, 4, 5):
+        names = [f"v{i}" for i in range(count)]
+        problem = Problem(alphabet=tuple("ab"), name=f"distinct-{count}")
+        for atom in distinct(names):
+            problem.add(atom)
+        problems.append((f"distinct-{count}", problem, "sat"))
+
+    problem = Problem(alphabet=tuple("ab"), name="distinct-3-constrained")
+    for name in ("x", "y", "z"):
+        problem.add(RegexMembership(name, "(ab)*"))
+    for atom in distinct(["x", "y", "z"]):
+        problem.add(atom)
+    problems.append(("distinct-3-constrained", problem, "sat"))
+
+    problem = Problem(alphabet=tuple("ab"), name="distinct-3-bounded")
+    for atom in distinct(["x", "y", "z"]):
+        problem.add(atom)
+    problem.add(LengthConstraint(ge(str_len("x"), 2)))
+    problem.add(LengthConstraint(le(str_len("y"), 1)))
+    problem.add(LengthConstraint(lia_eq(str_len("z"), 3)))
+    problems.append(("distinct-3-bounded", problem, "sat"))
+
+    problem = Problem(alphabet=tuple("ab"), name="distinct-php-3-over-2")
+    for name in ("x", "y", "z"):
+        problem.add(RegexMembership(name, "a|b"))
+    for atom in distinct(["x", "y", "z"]):
+        problem.add(atom)
+    problems.append(("distinct-php-3-over-2", problem, "unsat"))
+
+    problem = Problem(alphabet=tuple("ab"), name="distinct-php-4-over-3")
+    names = ["x", "y", "z", "w"]
+    for name in names:
+        problem.add(RegexMembership(name, "a|b|ab"))
+    for atom in distinct(names):
+        problem.add(atom)
+    problems.append(("distinct-php-4-over-3", problem, "unsat"))
+    return problems
+
+
+def run_distinct(quick: bool) -> Dict:
+    from repro.strings.semantics import eval_problem
+
+    instances: Dict[str, Dict] = {}
+    wrong_verdicts = 0
+    timeouts = 0
+    for name, problem, expected in _distinct_problems():
+        if quick and name not in DISTINCT_QUICK:
+            continue
+        result, elapsed = _solve(problem, DISTINCT_TIMEOUT, incremental=True)
+        status = result.status.value
+        model_verified = None
+        if result.is_sat and result.model is not None:
+            model_verified = eval_problem(
+                problem, result.model.strings, result.model.integers
+            )
+        if result.solved and status != expected:
+            wrong_verdicts += 1
+        if model_verified is False:
+            wrong_verdicts += 1
+        if not result.solved:
+            timeouts += 1
+        instances[name] = {
+            "status": status,
+            "expected": expected,
+            "seconds": round(elapsed, 3),
+            "model_verified": model_verified,
+            "stats": result.stats,
+        }
+        print(
+            f"[distinct] {name}: {status} (expected {expected}) in {elapsed:.3f}s"
+        )
+    return {
+        "timeout": DISTINCT_TIMEOUT,
+        "wrong_verdicts": wrong_verdicts,
+        "timeouts": timeouts,
+        "instances": instances,
+    }
+
+
 def run_e2e(baseline: Dict, quick: bool) -> Dict:
     from repro.benchgen.suite import benchmark_sets
     from repro.strings.semantics import eval_problem
@@ -324,6 +434,7 @@ def run(quick: bool = False, output: Optional[str] = None) -> Dict:
         "mbqi": run_mbqi(baseline, quick),
         "session": run_session(quick),
         "cuts": run_cuts(quick),
+        "distinct": run_distinct(quick),
         "e2e": run_e2e(baseline, quick),
     }
     path = output or DEFAULT_OUTPUT_PATH

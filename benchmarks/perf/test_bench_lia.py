@@ -5,8 +5,9 @@ test run the module skips itself so the tier-1 suite stays fast.  In quick
 mode the measured times are gated against the committed ``BENCH_lia.json``:
 the job fails when the quick workload regresses by more than 25 % — and,
 independently of timing, whenever any workload (the commuting-disequality
-cuts instances or the e2e suite) produces a wrong verdict, or the session
-chain diverges from (or fails to beat) the repeated one-shot path.
+cuts instances, the distinct family or the e2e suite) produces a wrong
+verdict or a distinct instance times out, or the session chain diverges
+from (or fails to beat) the repeated one-shot path.
 """
 
 import json
@@ -55,13 +56,24 @@ def test_bench_lia(bench_selected, tmp_path_factory):
     )
 
     # Verdict gate (applies in quick mode too): any wrong verdict anywhere —
-    # the cuts workload or the e2e suite — fails the job outright.
+    # the cuts workload, the distinct family or the e2e suite — fails the
+    # job outright.
     cuts = report["cuts"]
     assert cuts["wrong_verdicts"] == 0, cuts["instances"]
     for name, entry in cuts["instances"].items():
         assert entry["status"] == entry["expected"] == "unsat", (
             f"{name} must be refuted by the cutting-plane core: {entry}"
         )
+    distinct = report["distinct"]
+    assert distinct["wrong_verdicts"] == 0, distinct["instances"]
+    # The headline of the distinct fix: no instance may time out — the
+    # witness path answers (distinct x y z) in milliseconds where the
+    # A^III encoding used to run out the clock.
+    assert distinct["timeouts"] == 0, distinct["instances"]
+    for name, entry in distinct["instances"].items():
+        assert entry["status"] == entry["expected"], (name, entry)
+        if entry["status"] == "sat":
+            assert entry["model_verified"] is True, (name, entry)
     e2e = report["e2e"]
     assert e2e["wrong_verdicts"] == 0, e2e["verdict_changes"]
 

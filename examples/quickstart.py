@@ -19,7 +19,7 @@ from repro import (
     term,
     lit,
 )
-from repro.lia import ge
+from repro.lia import eq as lia_eq, ge
 
 
 def show(title, result, model=None):
@@ -64,6 +64,17 @@ def main():
     assumption = LengthConstraint(ge(str_len("y"), 3))
     show("  ... assuming |y| >= 3 (not asserted)", session.check([assumption]),
          session.model())
+
+    # 5. An impossible assumption: ``check(assumptions=…)`` cores name it.
+    #    Assumption literals in the LIA layer blame exactly the integer
+    #    atoms a refutation needed (final-conflict analysis), so the core
+    #    arrives without deletion-test re-solves — |x| = 3 cannot hold for
+    #    x in (ab)*, and the core names the assumption together with the
+    #    assertions of x's encoding component.
+    result = session.check([("odd-length", LengthConstraint(lia_eq(str_len("x"), 3)))])
+    show("  ... assuming |x| = 3 (impossible over (ab)*)", result)
+    if result.is_unsat:
+        print(f"{'':52}    unsat core: {', '.join(session.unsat_core())}")
     stats = session.statistics()
     print(f"{'':52}    {stats['checks']} checks, "
           f"{stats['component_hits']} encoding reuses, "

@@ -47,7 +47,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .cnf import CnfBuilder
 from .intsolver import (
@@ -107,6 +107,13 @@ class LiaResult:
     #: purely boolean refutation), in which case callers must fall back to
     #: the full assertion set.
     conflict_vars: FrozenSet[str] = frozenset()
+    #: labels of the ``check(assumptions=…)`` entries that final-conflict
+    #: analysis blamed for an ``UNSAT`` verdict.  Unlike ``conflict_vars``
+    #: this is *exact*: an assumption outside the set is guaranteed not to
+    #: be needed for the refutation.  Empty when the asserted stack is
+    #: unsatisfiable on its own (no assumption required), and meaningless
+    #: for non-UNSAT verdicts.
+    core_labels: Tuple = ()
 
     @property
     def is_sat(self) -> bool:
@@ -359,6 +366,7 @@ class _Context:
                         # dropped from the learned clause but still belong to
                         # the refutation.
                         self._conflict_participants |= conflict_vars
+                        self.sat.pending_conflict_participants = frozenset(conflict_vars)
                         conflict_vars = self._strengthen_core(conflict_vars)
                         return tuple(-var for var in sorted(conflict_vars))
                 self._feasible_sets.append(frozenset(true_atoms))
@@ -370,6 +378,7 @@ class _Context:
                 conflict_vars = set(true_atoms)
             conflict_vars = self._minimize_core(conflict_vars)
             self._conflict_participants |= conflict_vars
+            self.sat.pending_conflict_participants = frozenset(conflict_vars)
             conflict_vars = self._strengthen_core(conflict_vars)
             return tuple(-var for var in sorted(conflict_vars))
 
@@ -420,6 +429,7 @@ class _Context:
             return tuple()
         conflict_vars = self._minimize_core(conflict_vars)
         self._conflict_participants |= conflict_vars
+        self.sat.pending_conflict_participants = frozenset(conflict_vars)
         conflict_vars = self._strengthen_core(conflict_vars)
         return tuple(-var for var in sorted(conflict_vars))
 
@@ -441,9 +451,7 @@ class _Context:
         if not core:
             return core
         forced: Set[int] = set()
-        for literal, is_decision, _tried in self.sat.trail:
-            if is_decision:
-                break
+        for literal in self.sat.root_literals():
             if literal > 0 and literal in core:
                 forced.add(literal)
         if not forced:
@@ -454,19 +462,83 @@ class _Context:
             self.levels[-1].strengthened.append(key)
         return strengthened
 
+    def _restrict_to_component(self, core: Set[int]) -> Set[int]:
+        """Restrict a conflict core to one variable-connected component.
+
+        A conjunction of constraint systems over disjoint variables is
+        infeasible iff one of the systems is, so a core spanning several
+        components carries pure noise (this happens when the elimination
+        pre-pass unions tags across the whole assignment, or when a core is
+        too large for deletion minimisation).  Each component is tested for
+        infeasibility on its own — rationally first, then with a tightly
+        budgeted branch-and-cut — and the first refuted one replaces the
+        core.  When no component can be refuted within the budget the full
+        core is kept (conservative, still sound).
+        """
+        atoms = sorted(core)
+        component_of: Dict[str, int] = {}
+        components: Dict[int, List[int]] = {}
+        for atom in atoms:
+            names = list(self._atom_constraint[atom].expr.coeffs)
+            targets = sorted({component_of[n] for n in names if n in component_of})
+            if not targets:
+                component = atom
+                components[component] = []
+            else:
+                component = targets[0]
+                for other in targets[1:]:
+                    for moved in components.pop(other):
+                        components[component].append(moved)
+                    for name, where in list(component_of.items()):
+                        if where == other:
+                            component_of[name] = component
+            components[component].append(atom)
+            for name in names:
+                component_of[name] = component
+        if len(components) <= 1:
+            return core
+        for key in sorted(components):
+            member_atoms = components[key]
+            constraints = [self._atom_constraint[a] for a in member_atoms]
+            outcome = check_rational_feasibility(constraints)
+            if not outcome.feasible:
+                return set(member_atoms)
+            if len(member_atoms) > 48:
+                continue
+            try:
+                integral = check_integer_feasibility(
+                    constraints,
+                    max_nodes=60,
+                    deadline=self._deadline,
+                    cut_rounds=self.config.gomory_cut_rounds,
+                    max_cuts=min(64, self.config.max_gomory_cuts),
+                    omega=self.config.omega_elimination,
+                )
+            except ResourceLimit:
+                if self._deadline is not None and time.monotonic() > self._deadline:
+                    raise
+                continue
+            if not integral.feasible:
+                return set(member_atoms)
+        return core
+
     def _minimize_core(self, core: Set[int]) -> Set[int]:
         """Greedily shrink a conflict core by deletion testing.
 
         A learned theory clause is exponentially more useful the fewer
         literals it has, and the cores reported by the warm-started simplex
         (whose tableau rows are arbitrary accumulated linear combinations)
-        are sound but rarely minimal.  Each candidate atom is dropped when
-        the remaining set is still rationally infeasible on a fresh, small
-        simplex; integer-only cores pass through unchanged (every rational
-        test is feasible, so nothing is dropped).  The result is always a
-        subset of ``core`` and still jointly infeasible, so the learned
-        clause stays sound.
+        are sound but rarely minimal.  The core is first restricted to one
+        variable-connected component; each remaining candidate atom is then
+        dropped when the rest is still rationally infeasible on a fresh,
+        small simplex; integer-only cores pass through unchanged (every
+        rational test is feasible, so nothing is dropped).  The result is
+        always a subset of ``core`` and still jointly infeasible, so the
+        learned clause stays sound.
         """
+        if len(core) <= 2:
+            return core
+        core = self._restrict_to_component(core)
         if len(core) <= 2 or len(core) > 64:
             return core
         atoms = sorted(core)
@@ -550,21 +622,31 @@ class _Context:
             "theory_checks": sat.theory_checks,
             "learned_clauses": sat.learned_clauses,
             "restarts": sat.restarts,
+            "backjump_levels": sat.backjump_levels,
+            "deleted_clauses": sat.deleted_clauses,
+            "minimized_literals": sat.minimized_literals,
             "pivots": self.theory.pivots + self._int_pivots,
             "cache_hits": self._cache_hits + self.cnf.cache_hits,
             "duplicate_clauses": sat.duplicate_clauses + self.cnf.duplicate_clauses,
         }
 
     def _participant_names(self) -> FrozenSet[str]:
-        """Variable names touched by this check's theory conflicts.
+        """Variable names touched by this check's refutation.
 
-        The conflict atoms live in the substituted (post-presolve) variable
-        space; the elimination chain is walked backwards so that an original
-        assertion mentioning an eliminated variable is reconnected to the
-        conflicts its definition participated in.
+        Prefers the SAT engine's proof-tracked support (the theory atoms
+        the *final* conflict derivation transitively used) and falls back
+        to the per-check accumulation of every theory conflict when the
+        tracking overflowed.  The conflict atoms live in the substituted
+        (post-presolve) variable space; the elimination chain is walked
+        backwards so that an original assertion mentioning an eliminated
+        variable is reconnected to the conflicts its definition
+        participated in.
         """
+        participants = self.sat.final_participants
+        if participants is None:
+            participants = self._conflict_participants
         names: Set[str] = set()
-        for var in self._conflict_participants:
+        for var in participants:
             atom = self.cnf.atom_of_var.get(var)
             if atom is not None:
                 names.update(atom.expr.coeffs)
@@ -574,7 +656,49 @@ class _Context:
                 names.update(definition.coeffs)
         return frozenset(names)
 
-    def check(self, deadline: Optional[float] = None) -> LiaResult:
+    def _encode_assumptions(
+        self, assumptions: Sequence[Tuple[object, Formula]]
+    ) -> Tuple[List[int], Dict[int, List[object]], Optional[object], str]:
+        """Encode labelled assumption formulae as SAT assumption literals.
+
+        Assumption formulae are rewritten through the current elimination
+        chain but are *not* presolved (an elimination justified by a mere
+        assumption would leak into later checks).  Each formula's root
+        literal doubles as its assumption literal — asserting the root is
+        asserting the formula under Plaisted–Greenbaum — so no guard
+        variables are needed and failed-assumption analysis maps straight
+        back to the labels.  Returns ``(literals, labels-per-literal,
+        trivially-false-label, unsupported-reason)``.
+        """
+        literals: List[int] = []
+        label_of: Dict[int, List[object]] = {}
+        for label, formula in assumptions:
+            rewritten = self._apply_subst(formula)
+            try:
+                nnf = to_nnf(rewritten)
+            except TypeError as error:
+                # Silently ignoring the assumption would answer as if it
+                # were absent — a wrong SAT; report UNKNOWN like the
+                # assertion path does.
+                return [], {}, None, f"unsupported assumption formula: {error}"
+            if isinstance(nnf, BoolConst):
+                if nnf.value:
+                    continue
+                return [], {}, label, ""
+            root = self.cnf.add_formula(nnf)
+            self._sync_sat()
+            if root is None:
+                continue
+            if root not in label_of:
+                literals.append(root)
+            label_of.setdefault(root, []).append(label)
+        return literals, label_of, None, ""
+
+    def check(
+        self,
+        deadline: Optional[float] = None,
+        assumptions: Sequence[Tuple[object, Formula]] = (),
+    ) -> LiaResult:
         if deadline is None and self.config.timeout is not None:
             deadline = time.monotonic() + self.config.timeout
         before = self._stats_snapshot()
@@ -584,6 +708,7 @@ class _Context:
             model: Optional[LiaModel] = None,
             reason: str = "",
             conflict_vars: FrozenSet[str] = frozenset(),
+            core_labels: Tuple = (),
         ) -> LiaResult:
             after = self._stats_snapshot()
             stats = {key: after[key] - before[key] for key in after}
@@ -595,6 +720,7 @@ class _Context:
                 reason=reason,
                 stats=stats,
                 conflict_vars=conflict_vars,
+                core_labels=core_labels,
             )
 
         self._flush()
@@ -608,11 +734,21 @@ class _Context:
             if level.unsupported:
                 return result(LiaStatus.UNKNOWN, reason=level.unsupported)
 
+        assumption_lits, label_of, false_label, unsupported = self._encode_assumptions(
+            assumptions
+        )
+        if unsupported:
+            return result(LiaStatus.UNKNOWN, reason=unsupported)
+        if false_label is not None:
+            return result(LiaStatus.UNSAT, core_labels=(false_label,))
+
         self._deadline = deadline
         self._conflict_participants = set()
         try:
             verdict, _boolean_model = self.sat.solve(
-                deadline=deadline, max_conflicts=self.config.max_conflicts
+                deadline=deadline,
+                max_conflicts=self.config.max_conflicts,
+                assumptions=assumption_lits,
             )
         except ResourceLimit as error:
             return result(LiaStatus.UNKNOWN, reason=str(error))
@@ -625,7 +761,18 @@ class _Context:
                     LiaStatus.UNKNOWN,
                     reason="branch-and-bound budget exhausted on some boolean assignment",
                 )
-            return result(LiaStatus.UNSAT, conflict_vars=self._participant_names())
+            failed = self.sat.failed_assumptions
+            core_labels = tuple(
+                label
+                for literal in assumption_lits
+                if literal in failed
+                for label in label_of[literal]
+            )
+            return result(
+                LiaStatus.UNSAT,
+                conflict_vars=self._participant_names(),
+                core_labels=core_labels,
+            )
 
         model = LiaModel(dict(self._last_model))
         model.values = complete_model(model.values, self.eliminated)
@@ -678,14 +825,23 @@ class LiaSolver:
         self._ctx = None
 
     # ------------------------------------------------------------------
-    def check(self, formula: Optional[Formula] = None, deadline: Optional[float] = None) -> LiaResult:
+    def check(
+        self,
+        formula: Optional[Formula] = None,
+        deadline: Optional[float] = None,
+        assumptions: Sequence[Tuple[object, Formula]] = (),
+    ) -> LiaResult:
         """Decide satisfiability of the assertion stack (plus ``formula``).
 
         ``deadline`` (an absolute :func:`time.monotonic` value) takes
-        precedence over ``config.timeout``.
+        precedence over ``config.timeout``.  ``assumptions`` is a sequence
+        of ``(label, formula)`` pairs that hold for *this check only*: on an
+        ``UNSAT`` answer, :attr:`LiaResult.core_labels` names exactly the
+        assumptions the refutation needed (final-conflict analysis over
+        their assumption literals — no deletion-test re-solving).
         """
         if formula is not None:
-            if self._ctx is None:
+            if self._ctx is None and not assumptions:
                 context = _Context(self.config)
                 context.add_assertion(formula)
                 return context.check(deadline)
@@ -693,10 +849,10 @@ class LiaSolver:
             context.push()
             context.add_assertion(formula)
             try:
-                return context.check(deadline)
+                return context.check(deadline, assumptions=assumptions)
             finally:
                 context.pop()
-        return self._context().check(deadline)
+        return self._context().check(deadline, assumptions=assumptions)
 
 
 def is_satisfiable(formula: Formula, config: Optional[LiaConfig] = None) -> bool:

@@ -21,7 +21,13 @@ structure allowed inside pure linear-integer subformulae):
   :mod:`repro.automata.regex`;
 * integers: ``+``, ``-``, ``*`` (by constants), numerals, ``str.len``, and
   the relations ``<= < >= > = distinct`` with ``and``/``or``/``not``/``=>``
-  boolean structure.
+  boolean structure — including negated n-ary ``distinct``, which becomes a
+  disjunction of equalities;
+* the Bool constants ``true`` / ``false`` anywhere in assert bodies, by
+  constant folding: ``(= φ true)``, ``(distinct φ false)``, absorbing /
+  neutral elements of ``and`` / ``or`` / ``=>``.  Only an equality between
+  two *non-constant* Bool terms (an if-and-only-if) stays out of the
+  fragment.
 
 Alphabet: the solver works over an explicit finite alphabet.  Scripts can
 declare it with the extension ``(set-info :alphabet "abc")`` (the printer
@@ -315,10 +321,9 @@ class _Translator:
     # -- pure-LIA formulae ---------------------------------------------
     def lia_formula(self, expr: SExpr) -> LiaFormula:
         """Translate a pure linear-integer boolean term (full structure)."""
-        if expr == "true":
-            return TRUE
-        if expr == "false":
-            return FALSE
+        constant = self._bool_const(expr)  # NOT a string literal "true"
+        if constant is not None:
+            return TRUE if constant else FALSE
         if not isinstance(expr, list) or not expr:
             raise _NotPureLia()
         head = expr[0]
@@ -416,13 +421,29 @@ class _Translator:
         raise self.error(f"unsupported regular-expression operator {head!r}")
 
     # -- boolean terms → atom lists ------------------------------------
+    @staticmethod
+    def _bool_const(expr: SExpr) -> Optional[bool]:
+        """``True``/``False`` for the Bool constants, ``None`` otherwise.
+
+        ``SString`` subclasses ``str``, so a naive ``expr == "true"`` would
+        also match the string *literal* ``"true"`` — the literal is not a
+        Bool constant.
+        """
+        if isinstance(expr, str) and not isinstance(expr, SString):
+            if expr == "true":
+                return True
+            if expr == "false":
+                return False
+        return None
+
     def atoms(self, expr: SExpr, positive: bool = True) -> List[Atom]:
         """Translate a boolean term into a conjunction of AST atoms."""
-        if expr == "true":
-            return [] if positive else [LengthConstraint(FALSE)]
-        if expr == "false":
-            return [LengthConstraint(FALSE)] if positive else []
-        if isinstance(expr, str):
+        constant = self._bool_const(expr)
+        if constant is not None:
+            if constant == positive:
+                return []
+            return [LengthConstraint(FALSE)]
+        if isinstance(expr, str) and not isinstance(expr, SString):
             raise self.error(f"free boolean constants are not supported: {expr!r}")
         if not isinstance(expr, list) or not expr:
             raise self.error(f"unsupported boolean term {expr!r}")
@@ -447,6 +468,34 @@ class _Translator:
             for arg in expr[1:]:
                 collected.extend(self.atoms(arg, False))
             return collected
+        if head in ("and", "or"):
+            # Only ``or``-under-assertion and ``and``-under-negation reach
+            # this point: both are disjunctions, which the conjunctive
+            # fragment cannot express in general — but Bool constants fold
+            # away.  A ``true`` disjunct satisfies the whole term (for the
+            # negated conjunction the absorbing constant is ``false``);
+            # neutral constants drop out.
+            absorbing = head == "or"
+            folded: List[SExpr] = []
+            for arg in expr[1:]:
+                value = self._bool_const(arg)
+                if value is None:
+                    folded.append(arg)
+                elif value == absorbing:
+                    return []  # absorbing element: the term already holds
+            if not folded:
+                return [LengthConstraint(FALSE)]
+            if len(folded) == 1:
+                return self.atoms(folded[0], positive)
+        if head == "=>" and len(expr) == 3:
+            antecedent = self._bool_const(expr[1])
+            consequent = self._bool_const(expr[2])
+            if antecedent is False or consequent is True:
+                return [] if positive else [LengthConstraint(FALSE)]
+            if antecedent is True:
+                return self.atoms(expr[2], positive)
+            if consequent is False:
+                return self.atoms(expr[1], not positive)
         if head == "=>" and not positive:
             if len(expr) != 3:
                 raise self.error("negated => takes exactly two arguments here")
@@ -457,6 +506,25 @@ class _Translator:
             if argument_sorts == {"String"}:
                 equal = (head == "=") == positive
                 return self._string_equalities(expr[1:], equal, chained=head == "=")
+            if argument_sorts == {"Bool"}:
+                return self._bool_equalities(expr[1:], head == "=", positive)
+            if (
+                head == "distinct"
+                and not positive
+                and argument_sorts == {"Int"}
+            ):
+                # ``(not (distinct t1 … tn))`` over Int terms: *some* pair
+                # is equal — a plain disjunction of equalities inside the
+                # pure-LIA boolean structure (the string-sorted analogue
+                # stays a clean error: string disjunctions do not fit the
+                # conjunctive fragment).
+                terms = [self.int_term(arg) for arg in expr[1:]]
+                equalities = [
+                    lia_eq(terms[i], terms[j])
+                    for i in range(len(terms))
+                    for j in range(i + 1, len(terms))
+                ]
+                return [LengthConstraint(disj(equalities))]
 
         if head == "str.prefixof":
             if len(expr) != 3:
@@ -516,6 +584,53 @@ class _Translator:
                     "negated n-ary distinct is a disjunction and is not supported"
                 )
         return [self._string_equality(left, right, equal) for left, right in pairs]
+
+    def _bool_equalities(self, arguments: List[SExpr], chained: bool, positive: bool) -> List[Atom]:
+        """``=`` / ``distinct`` over Bool terms, by constant folding.
+
+        Every supported pair involves at least one of the constants
+        ``true`` / ``false``, which folds the pair into the other side (or
+        its negation); an equality between two non-constant Bool terms is
+        an if-and-only-if the conjunctive fragment cannot express.  As with
+        strings, the two genuinely disjunctive shapes — a negated chain and
+        a negated n-ary ``distinct`` — are rejected unless they fold to a
+        single pair.
+        """
+        if chained:
+            pairs = list(zip(arguments, arguments[1:]))
+            if not positive and len(pairs) > 1:
+                raise self.error(
+                    "negated chained equalities are a disjunction and are not supported"
+                )
+        else:
+            pairs = [
+                (arguments[i], arguments[j])
+                for i in range(len(arguments))
+                for j in range(i + 1, len(arguments))
+            ]
+            if not positive and len(pairs) > 1:
+                raise self.error(
+                    "negated n-ary distinct is a disjunction and is not supported"
+                )
+        collected: List[Atom] = []
+        for left, right in pairs:
+            # polarity of "left equals right" after folding the negation in
+            equal = positive == chained
+            left_const = self._bool_const(left)
+            right_const = self._bool_const(right)
+            if left_const is not None and right_const is not None:
+                if (left_const == right_const) != equal:
+                    return [LengthConstraint(FALSE)]
+                continue
+            if left_const is not None:
+                collected.extend(self.atoms(right, equal == left_const))
+            elif right_const is not None:
+                collected.extend(self.atoms(left, equal == right_const))
+            else:
+                raise self.error(
+                    "boolean equality between two non-constant terms is not supported"
+                )
+        return collected
 
     def _string_equality(self, left: SExpr, right: SExpr, equal: bool) -> Atom:
         for target_side, at_side in ((left, right), (right, left)):

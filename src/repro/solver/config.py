@@ -42,6 +42,25 @@ class SolverConfig:
     #: verify every SAT model against the original problem (cheap, keeps the
     #: solver sound even in the presence of encoder bugs)
     verify_models: bool = True
+    #: answer pairwise-distinct groups (conjunctions of single-variable
+    #: disequalities) by greedily picking distinct short words from the
+    #: variables' automata — verified against the original problem by the
+    #: semantics oracle — instead of encoding the n-predicate ``A^III``
+    #: system; groups whose automata lack enough short words (or whose
+    #: greedy model fails verification) fall through to the encoding.
+    #: ``False`` always takes the encoding (ablation / differential testing)
+    distinct_shortcut: bool = True
+    #: hand per-atom integer conjuncts to the LIA layer as labelled
+    #: assumption literals: an UNSAT verdict then names the exact integer
+    #: atoms of the core via final-conflict analysis (no deletion-test
+    #: re-solving).  ``False`` asserts them like any other part (the
+    #: pre-assumption behaviour, kept for differential testing)
+    assumption_cores: bool = True
+    #: cross-check (and shrink) `Session.unsat_core` candidates by deletion
+    #: testing — one pipeline re-solve per candidate atom.  Off by default:
+    #: the assumption-literal provenance already yields verified cores; the
+    #: deletion verifier remains available as an independent oracle
+    core_deletion_check: bool = False
     #: capacity of the session pipeline's component-encoding memo (entries
     #: are tag-automaton encodings keyed by predicate set and automata)
     session_encoding_cache: int = 256

@@ -90,10 +90,17 @@ class SolveResult:
     stats: Dict[str, int] = field(default_factory=dict)
     #: for UNSAT: indices (into the checked problem's atom list) of the
     #: atoms the refutation participants map back to — an over-approximated
-    #: unsat core seeded from the LIA conflict provenance.  ``None`` means
-    #: the participants could not be tracked (callers must treat every atom
-    #: as a candidate).
+    #: unsat core seeded from the LIA conflict provenance (integer atoms are
+    #: exact, via assumption-literal final-conflict analysis).  ``None``
+    #: means the participants could not be tracked (callers must treat
+    #: every atom as a candidate).
     core_atoms: Optional[FrozenSet[int]] = None
+    #: for UNSAT: ``core_atoms`` widened by the word equations and their
+    #: variables' atoms — the fallback candidate when branches were pruned
+    #: inside the decomposition (whose refutations implicate the equations
+    #: without reporting participants).  ``None`` when identical to
+    #: ``core_atoms``.
+    core_atoms_widened: Optional[FrozenSet[int]] = None
 
     @property
     def is_sat(self) -> bool:

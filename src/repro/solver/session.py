@@ -17,14 +17,18 @@ thread-safe; give each worker its own.
 Unsat cores
 -----------
 
-``check`` seeds an over-approximated core from the refutation participants
-the pipeline threads up from the LIA conflict cores
-(``SolveResult.core_atoms``).  :meth:`~Session.unsat_core` then verifies
-the candidate set really is unsatisfiable on its own (falling back to the
-full assertion set when the over-approximation turns out incomplete) and
-minimises it by deletion testing — every reported core is therefore a set
-of assertions that was *checked* to be jointly unsatisfiable, and bystander
-assertions never appear in it.
+``check`` seeds a core from the refutation participants the pipeline
+threads up from the LIA layer (``SolveResult.core_atoms``): integer atoms
+are *exact* — each travels as a labelled assumption literal and an UNSAT
+answer's final-conflict analysis names precisely the ones it needed — while
+string atoms map through the conflict-variable provenance.
+:meth:`~Session.unsat_core` verifies that the candidate set really is
+unsatisfiable on its own (one re-check, falling back to the full assertion
+set when the over-approximation turns out incomplete) and reports it in
+assertion order — every reported core is a set of assertions that was
+*checked* to be jointly unsatisfiable, and bystander assertions never
+appear in it.  The historical deletion-test minimiser is kept behind
+``SolverConfig.core_deletion_check`` as an independent cross-check.
 """
 
 from __future__ import annotations
@@ -178,9 +182,17 @@ class Session:
         """Names of assertions that are jointly unsatisfiable.
 
         Requires the last :meth:`check` to have answered ``unsat``.  The
-        provenance-seeded candidate set is verified by re-checking and then
-        shrunk by deletion testing (see the module docstring); the result is
-        cached until the next ``check``.
+        candidate set is seeded from the pipeline's refutation provenance —
+        integer atoms exactly, via the LIA layer's assumption literals and
+        final-conflict analysis; string atoms through the conflict-variable
+        mapping — and verified by one re-check when it is a proper subset.
+        Core atoms are reported **in assertion order** (deterministic across
+        runs).  The historical deletion-test minimiser (one re-solve per
+        candidate atom) only runs when
+        :attr:`~repro.solver.config.SolverConfig.core_deletion_check` is
+        set; it remains available as an independent cross-check of the
+        assumption-literal cores.  The result is cached until the next
+        ``check``.
         """
         if self._last is None or self._last.status is not Status.UNSAT:
             raise RuntimeError("unsat_core requires the last check to be unsat")
@@ -192,18 +204,30 @@ class Session:
         if self._last.core_atoms is None:
             kept = everything
         else:
-            kept = sorted(self._last.core_atoms)
-            if kept != everything:
+            # Candidates from tight to wide; the first whose verification
+            # re-check stays unsat wins, the full (already-verified)
+            # assertion set is the last resort.  Assertion-index order,
+            # never set-iteration order: cores must be stable across runs
+            # and hash seeds.
+            candidates = [sorted(self._last.core_atoms)]
+            if self._last.core_atoms_widened is not None:
+                candidates.append(sorted(self._last.core_atoms_widened))
+            kept = everything
+            for candidate in candidates:
+                if candidate == everything:
+                    break
                 verdict = self._pipeline.check(
-                    self._problem_for([entries[i] for i in kept])
+                    self._problem_for([entries[i] for i in candidate])
                 )
-                if verdict.status is not Status.UNSAT:
-                    # The over-approximation missed a participant (or the
-                    # sub-check ran out of budget): fall back to the full,
-                    # already-verified assertion set.
-                    kept = everything
+                if verdict.status is Status.UNSAT:
+                    kept = candidate
+                    break
 
-        if minimize and len(kept) <= _MINIMIZE_LIMIT:
+        if (
+            self.config.core_deletion_check
+            and minimize
+            and len(kept) <= _MINIMIZE_LIMIT
+        ):
             position = 0
             while position < len(kept) and len(kept) > 1:
                 trial = kept[:position] + kept[position + 1 :]

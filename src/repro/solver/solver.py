@@ -66,9 +66,10 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
-from ..automata.enumeration import shortest_word
+from ..automata.enumeration import is_finite, shortest_word, words_up_to
 from ..automata.nfa import Nfa
 from ..core.notcontains import NotContainsEncoder, base_transition_counts, find_failing_offset
 from ..core.predicates import (
@@ -84,8 +85,12 @@ from ..core.system import SystemEncoding, encode_system
 from ..core.witness import extract_assignment
 from ..eqsolver import Branch, DecompositionResult, decompose
 from ..lia import LiaSolver, LiaStatus, conj, eq, gt, var
+from ..lia import And as LiaAnd
+from ..lia import Eq as LiaEq
 from ..lia import Formula as LiaFormula
+from ..lia import Le as LiaLe
 from ..lia import LinExpr
+from ..lia.simplify import eliminate_equalities
 from ..strings.ast import Problem, RegexMembership, length_variable
 from ..strings.normal_form import NormalForm, NormalizationCache, normalize
 from ..strings.semantics import eval_problem
@@ -96,6 +101,14 @@ Encoding = Union[SingleEncoding, SystemEncoding]
 
 #: hashable key of one LIA part of a branch conjunction
 PartKey = Tuple
+
+#: sentinel: an exactly-enumerated disequality group has no solution
+_GROUP_UNSAT = object()
+#: candidate words per variable above which a finite-group enumeration is
+#: no longer considered complete (keeps the exact search tiny)
+_GROUP_WORD_CAP = 16
+#: node budget of the exact group search
+_GROUP_SEARCH_NODES = 50000
 
 
 class _Lru(OrderedDict):
@@ -203,6 +216,11 @@ class IncrementalPipeline:
         self._decompositions: _Lru = _Lru(32)
         self._components: _Lru = _Lru(self.config.session_encoding_cache)
         self._branch_solvers: _Lru = _Lru(self.config.session_branch_solvers)
+        #: integer conjunct -> may it travel as an assumption literal?
+        #: (defining equalities must stay asserted so the LIA presolve can
+        #: eliminate them — losing that elimination costs 3× on the
+        #: equality-linked e2e instances)
+        self._assumable: _Lru = _Lru(256)
         self.counters: Dict[str, int] = {
             "checks": 0,
             "normal_form_hits": 0,
@@ -216,6 +234,7 @@ class IncrementalPipeline:
             "branch_solver_rebuilds": 0,
             "lia_parts_asserted": 0,
             "lia_parts_reused": 0,
+            "distinct_shortcuts": 0,
         }
 
     # ------------------------------------------------------------------
@@ -289,15 +308,25 @@ class IncrementalPipeline:
             )
 
         core_atoms: Optional[FrozenSet[int]] = None
+        core_widened: Optional[FrozenSet[int]] = None
         if participants_known:
-            # Branches pruned inside the decomposition (empty refinements)
-            # implicate the equations and the memberships of their
-            # variables; fold the equation variables in wholesale.
+            # Tight candidate: exactly what the branch refutations reported
+            # (closed under the branch substitutions).
+            tight = set(participant_atoms)
+            tight.update(normal_form.atoms_touching(participant_vars))
+            core_atoms = frozenset(tight)
+            # Widened candidate: branches pruned inside the decomposition
+            # (empty refinements) implicate the equations and the atoms of
+            # their variables without reporting participants; fold the
+            # equation variables in wholesale.  Callers try the tight set
+            # first and fall back here when its verification fails.
+            widened_vars = set(participant_vars)
             for lhs, rhs in normal_form.equations:
-                participant_vars.update(lhs)
-                participant_vars.update(rhs)
-            participant_atoms.update(normal_form.atoms_touching(participant_vars))
-            core_atoms = frozenset(participant_atoms)
+                widened_vars.update(lhs)
+                widened_vars.update(rhs)
+            widened = tight | set(normal_form.atoms_touching(widened_vars))
+            if widened != tight:
+                core_widened = frozenset(widened)
         return SolveResult(
             Status.UNSAT,
             elapsed=watch.elapsed(),
@@ -305,6 +334,7 @@ class IncrementalPipeline:
             lia_queries=lia_queries,
             stats=stats,
             core_atoms=core_atoms,
+            core_atoms_widened=core_widened,
         )
 
     # ------------------------------------------------------------------
@@ -483,9 +513,14 @@ class IncrementalPipeline:
                     else (original,)
                 )
                 referenced.update(expansion)
-        uncovered = [name for name in referenced if name in automata and not any(name in g[2] for g in groups)]
-        if uncovered:
-            groups.append(([], [], set(uncovered)))
+        # One singleton group per uncovered variable (sorted for stable
+        # positional prefixes): lumping them into one component would fuse
+        # unrelated variables into a single encoding, smearing refutation
+        # participants across them — a length bound on x would implicate a
+        # bystander y in every unsat core.
+        for name in sorted(referenced):
+            if name in automata and not any(name in g[2] for g in groups):
+                groups.append(([], [], {name}))
 
         return [
             self._prepare_component(index, position, predicates, nc, variables, automata)
@@ -591,6 +626,248 @@ class IncrementalPipeline:
         return state.solver
 
     # ------------------------------------------------------------------
+    def _assumption_safe(self, formula: LiaFormula) -> bool:
+        """May this integer conjunct travel as an assumption literal?
+
+        Assumption formulae bypass the LIA presolve; a *defining equality*
+        (one ``eliminate_equalities`` would substitute away) must therefore
+        stay asserted — its core membership falls back to the conflict-
+        participant mapping.  Inequalities and disjunctive structure never
+        presolve, so assuming them is free.
+        """
+        safe = self._assumable.lookup(formula)
+        if safe is None:
+            # Wrap in a conjunction: the presolve only inspects And nodes,
+            # and at flush time the part sits inside the batch conjunction.
+            _, eliminated = eliminate_equalities(LiaAnd((formula,)), protected=())
+            safe = not eliminated
+            self._assumable.store(formula, safe)
+        return safe
+
+    # ------------------------------------------------------------------
+    # Easy-case pairwise-distinct path
+    # ------------------------------------------------------------------
+    def _distinct_witness(
+        self,
+        problem: Problem,
+        normal_form: NormalForm,
+        branch: Branch,
+        regular: List[PositionPredicate],
+        automata: Dict[str, Nfa],
+        remaining: List[str],
+    ) -> Optional[_BranchOutcome]:
+        """Model a branch of single-variable disequalities by word picking.
+
+        ``(distinct x y z)`` over unconstrained (or weakly constrained)
+        variables expands into a clique of pairwise disequalities whose
+        3-predicate ``A^III`` system encoding is enormous compared to the
+        problem's difficulty: any three distinct short words witness it.
+        When every position predicate of the branch is a ``Disequality``
+        between two *single* variables, greedily assign each variable the
+        first word of its automaton (shortest first, restricted to any
+        simple per-variable length window the integer constraints impose)
+        not already taken by a neighbour in the disequality graph —
+        ``deg+1`` candidate words always suffice — and verify the assembled
+        model against the *original* problem with the semantics oracle.
+        Any shortfall (not enough short words, a side that is a
+        concatenation, verification failure — e.g. an integer constraint
+        beyond the window fragment) returns ``None`` and the branch flows
+        through the ordinary encoding, so this path can only ever produce
+        verified SAT answers.
+        """
+        edges: Dict[str, Set[str]] = {}
+        for predicate in regular:
+            if not isinstance(predicate, Disequality):
+                return None
+            if len(predicate.lhs) != 1 or len(predicate.rhs) != 1:
+                return None
+            left, right = predicate.lhs[0], predicate.rhs[0]
+            if left == right:
+                return None  # x ≠ x is false: let the encoding refute it
+            edges.setdefault(left, set()).add(right)
+            edges.setdefault(right, set()).add(left)
+
+        if any(name not in automata for name in edges):
+            return None
+        windows = self._length_windows(normal_form, branch)
+        if windows is None:
+            return None  # a window is already contradictory
+
+        def in_window(name: str, word: str) -> bool:
+            low, high = windows.get(name, (0, None))
+            return len(word) >= low and (high is None or len(word) <= high)
+
+        def pick(name: str, taken: Set[str], degree: int) -> Optional[str]:
+            low, high = windows.get(name, (0, None))
+            horizon = low + 3 * degree + 4
+            if high is not None:
+                horizon = min(horizon, high)
+            candidates = (
+                word for word in words_up_to(automata[name], horizon)
+                if in_window(name, word)
+            )
+            for candidate in islice(candidates, degree + 1):
+                if candidate not in taken:
+                    return candidate
+            return None
+
+        strings = self._exact_group_search(edges, automata, windows, in_window)
+        if strings is _GROUP_UNSAT:
+            # Every variable's candidate set was enumerated *completely*
+            # (finite language, window applied) and no assignment satisfies
+            # the disequalities: the memberships + windows + disequalities
+            # alone — a subset of the branch constraints — are infeasible.
+            return _BranchOutcome(
+                Status.UNSAT,
+                participant_vars=self._close_participants(set(edges), branch),
+            )
+        if strings is None:
+            strings = {}
+            for name in sorted(edges, key=lambda n: (-len(edges[n]), n)):
+                taken = {strings[other] for other in edges[name] if other in strings}
+                word = pick(name, taken, len(edges[name]))
+                if word is None:
+                    return None  # not enough short witnesses: full encoding
+                strings[name] = word
+        for name in remaining:
+            if name not in strings:
+                word = pick(name, set(), 0) if name in windows else None
+                strings[name] = (
+                    word if word is not None else (shortest_word(automata[name]) or "")
+                )
+
+        model = self._build_model(problem, normal_form, branch, strings, {})
+        if not eval_problem(problem, model.strings, model.integers):
+            return None
+        self.counters["distinct_shortcuts"] += 1
+        return _BranchOutcome(Status.SAT, model=model, lia_queries=0, exact=True)
+
+    def _exact_group_search(
+        self,
+        edges: Dict[str, Set[str]],
+        automata: Dict[str, Nfa],
+        windows: Dict[str, Tuple[int, Optional[int]]],
+        in_window,
+    ):
+        """Exact decision of a small finite disequality group.
+
+        When every group variable has a *finite* language whose words (after
+        window filtering) can be enumerated completely and compactly, the
+        group is decided exactly by backtracking: a found assignment is a
+        model candidate, exhaustion is a sound UNSAT verdict for the whole
+        branch — the pigeonhole shapes (``(distinct x y z)`` over a two-word
+        language) that overwhelm the tag-automaton encoding entirely.
+        Returns an assignment dict, ``_GROUP_UNSAT``, or ``None`` when the
+        group is not exactly enumerable (caller falls back to greedy).
+        """
+        candidates: Dict[str, List[str]] = {}
+        for name in edges:
+            nfa = automata[name]
+            low, high = windows.get(name, (0, None))
+            if high is None:
+                if not is_finite(nfa):
+                    return None
+                horizon = len(nfa.states)  # longest loop-free word
+            else:
+                horizon = high
+            # Filter by the window *before* capping: capping the raw
+            # enumeration would let a truncated candidate set pass as a
+            # complete one (an unsound UNSAT on wide languages with a
+            # narrow window).
+            in_range = (w for w in words_up_to(nfa, horizon) if in_window(name, w))
+            words = list(islice(in_range, _GROUP_WORD_CAP + 1))
+            if len(words) > _GROUP_WORD_CAP:
+                return None  # too wide to call the enumeration complete
+            candidates[name] = words
+        order = sorted(candidates, key=lambda n: (len(candidates[n]), n))
+        assignment: Dict[str, str] = {}
+        budget = [_GROUP_SEARCH_NODES]
+
+        def search(position: int) -> Optional[bool]:
+            if position == len(order):
+                return True
+            name = order[position]
+            taken = {assignment[o] for o in edges[name] if o in assignment}
+            for word in candidates[name]:
+                if word in taken:
+                    continue
+                budget[0] -= 1
+                if budget[0] <= 0:
+                    return None  # inconclusive: give the encoding a shot
+                assignment[name] = word
+                result = search(position + 1)
+                if result:
+                    return True
+                del assignment[name]
+                if result is None:
+                    return None
+            return False
+
+        result = search(0)
+        if result is None:
+            return None
+        return dict(assignment) if result else _GROUP_UNSAT
+
+    def _length_windows(
+        self, normal_form: NormalForm, branch: Branch
+    ) -> Optional[Dict[str, Tuple[int, Optional[int]]]]:
+        """Per-variable length windows from the simple integer conjuncts.
+
+        Walks the top-level conjunction of the integer constraints and turns
+        every bound or equality over a *single* ``@len`` variable (whose
+        branch expansion is still a single variable) into a
+        ``(low, high)`` window.  Everything else is ignored — the final
+        model verification of the witness path is the safety net.  Returns
+        ``None`` when two windows already contradict each other.
+        """
+        windows: Dict[str, Tuple[int, Optional[int]]] = {}
+
+        def narrow(name: str, low: Optional[int], high: Optional[int]) -> bool:
+            old_low, old_high = windows.get(name, (0, None))
+            new_low = max(old_low, low if low is not None else 0)
+            new_high = old_high if high is None else (
+                high if old_high is None else min(old_high, high)
+            )
+            windows[name] = (new_low, new_high)
+            return new_high is None or new_low <= new_high
+
+        def visit(formula: LiaFormula) -> bool:
+            if isinstance(formula, LiaAnd):
+                return all(visit(arg) for arg in formula.args)
+            if isinstance(formula, (LiaLe, LiaEq)):
+                coeffs = formula.expr.coeffs
+                if len(coeffs) != 1:
+                    return True
+                (raw_name, coeff), = coeffs.items()
+                if not raw_name.startswith("@len.") or coeff == 0:
+                    return True
+                original = raw_name[len("@len.") :]
+                expansion = (
+                    branch.expand(original)
+                    if (original in branch.automata or original in branch.substitution)
+                    else (original,)
+                )
+                if len(expansion) != 1:
+                    return True
+                name = expansion[0]
+                constant = formula.expr.const
+                if isinstance(formula, LiaEq):
+                    if constant % coeff:
+                        return False  # c·L + k = 0 with no integer L
+                    value = -constant // coeff
+                    return value >= 0 and narrow(name, value, value)
+                if coeff > 0:  # c·L + k <= 0  →  L <= floor(-k / c)
+                    return narrow(name, None, -constant // coeff)
+                #  c < 0:  L >= ceil(k / -c)
+                return narrow(name, -(constant // coeff), None)
+            return True  # disjunctive / non-length structure: no window
+
+        for formula, _index in normal_form.integer_parts:
+            if not visit(formula):
+                return None
+        return windows
+
+    # ------------------------------------------------------------------
     def _solve_branch(
         self,
         problem: Problem,
@@ -615,6 +892,16 @@ class IncrementalPipeline:
                     participant_vars=self._close_participants({name}, branch),
                 )
 
+        # A single disequality encodes cheaply (the A^II construction); the
+        # witness path targets the multi-predicate groups whose A^III
+        # system encoding dwarfs the problem.
+        if self.config.distinct_shortcut and len(regular) >= 2 and not contains:
+            shortcut = self._distinct_witness(
+                problem, normal_form, branch, regular, automata, remaining
+            )
+            if shortcut is not None:
+                return shortcut
+
         try:
             components = self._build_components(
                 regular, contains, normal_form, branch, automata, index
@@ -626,12 +913,23 @@ class IncrementalPipeline:
         # docstring): integer conjuncts carry their source-atom index,
         # length links their variable, encodings their component cache
         # identity — the keys drive both the incremental assertion stack
-        # and the conflict-participant mapping.
+        # and the conflict-participant mapping.  With ``assumption_cores``
+        # the integer conjuncts travel as labelled assumptions instead:
+        # final-conflict analysis then reports the exact integer atoms of a
+        # refutation (``LiaResult.core_labels``) for free.
+        assume_ints = self.config.assumption_cores
         parts: List[Tuple[PartKey, LiaFormula]] = []
+        #: integer conjuncts that stay asserted — exactly the ones whose
+        #: core membership must still come from the conflict-variable
+        #: mapping (assumed conjuncts are covered by their failed labels)
         int_parts: List[Tuple[LiaFormula, int]] = []
+        assumed: List[Tuple[int, LiaFormula]] = []
         for formula, atom_index in normal_form.integer_parts:
-            parts.append((("int", formula), formula))
-            int_parts.append((formula, atom_index))
+            if assume_ints and self._assumption_safe(formula):
+                assumed.append((atom_index, formula))
+            else:
+                parts.append((("int", formula), formula))
+                int_parts.append((formula, atom_index))
         links = self._length_links(normal_form, branch, components)
         for name, formula in links:
             parts.append((("link", formula), formula))
@@ -671,17 +969,31 @@ class IncrementalPipeline:
                                       exact=exact, stats=stats)
             queries += 1
             if incremental:
-                result = solver.check(deadline=watch.deadline)
+                result = solver.check(deadline=watch.deadline, assumptions=assumed)
             else:
                 solver = LiaSolver(self.config.lia)
                 result = solver.check(
-                    conj([formula for _, formula in parts] + lemmas), deadline=watch.deadline
+                    conj([formula for _, formula in parts] + lemmas),
+                    deadline=watch.deadline,
+                    assumptions=assumed,
                 )
             merge_stats(result.stats)
             if result.status is LiaStatus.UNSAT:
+                # Assumed integer atoms come exactly from the failed-
+                # assumption labels; asserted ones (and everything else)
+                # map through the conflict participants as before.
                 vars_, atoms_ = self._map_participants(
-                    result.conflict_vars, int_parts, links, components, approximations, branch
+                    result.conflict_vars,
+                    int_parts,
+                    links,
+                    components,
+                    approximations,
+                    branch,
                 )
+                if assume_ints:
+                    atoms_ = atoms_ | {
+                        label for label in result.core_labels if isinstance(label, int)
+                    }
                 return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact, stats=stats,
                                       participant_vars=vars_, participant_atoms=atoms_)
             if result.status is LiaStatus.UNKNOWN:

@@ -163,6 +163,71 @@ def test_parser_distinct_polarities():
         parse_problem(header + "(assert (not (distinct x y z)))")
 
 
+def test_parser_negated_int_distinct_is_a_disjunction_of_equalities():
+    header = "(declare-const i Int)(declare-const j Int)(declare-const k Int)"
+    problem = parse_problem(header + "(assert (not (distinct i j k)))")
+    assert len(problem.atoms) == 1
+    atom = problem.atoms[0]
+    assert isinstance(atom, LengthConstraint)
+    # Some pair equal: i=j with j=k+extra must satisfy it, all-distinct not.
+    from repro.lia import evaluate
+
+    assert evaluate(atom.formula, {"i": 1, "j": 1, "k": 5})
+    assert evaluate(atom.formula, {"i": 3, "j": 7, "k": 7})
+    assert not evaluate(atom.formula, {"i": 1, "j": 2, "k": 3})
+    # Mixed with str.len terms the arguments stay Int-sorted.
+    script = (
+        '(set-info :alphabet "ab")(declare-const x String)(declare-const n Int)'
+        "(assert (not (distinct (str.len x) n 2)))"
+    )
+    problem = parse_problem(script)
+    assert len(problem.atoms) == 1
+
+
+def test_parser_accepts_bool_constants_with_folding():
+    header = '(set-info :alphabet "ab")(declare-const x String)'
+    # plain constants
+    assert parse_problem(header + "(assert true)").atoms == []
+    falsy = parse_problem(header + "(assert false)").atoms
+    assert len(falsy) == 1 and isinstance(falsy[0], LengthConstraint)
+    # equality / distinct against a constant folds into the other side
+    problem = parse_problem(header + '(assert (= true (str.prefixof "a" x)))')
+    assert len(problem.atoms) == 1 and problem.atoms[0].positive
+    problem = parse_problem(header + '(assert (= (str.contains x "b") false))')
+    assert len(problem.atoms) == 1 and not problem.atoms[0].positive
+    problem = parse_problem(header + '(assert (distinct (str.prefixof "a" x) false))')
+    assert len(problem.atoms) == 1 and problem.atoms[0].positive
+    # all-constant pairs decide themselves
+    assert parse_problem(header + "(assert (= true true))").atoms == []
+    falsy = parse_problem(header + "(assert (= true false))").atoms
+    assert len(falsy) == 1 and isinstance(falsy[0], LengthConstraint)
+    # absorbing / neutral elements of and, or, =>
+    problem = parse_problem(header + '(assert (or false (= x "a") false))')
+    assert len(problem.atoms) == 1
+    assert parse_problem(header + '(assert (or (= x "a") true))').atoms == []
+    problem = parse_problem(header + '(assert (not (and true (str.prefixof "b" x))))')
+    assert len(problem.atoms) == 1 and not problem.atoms[0].positive
+    problem = parse_problem(header + '(assert (=> true (= x "ab")))')
+    assert len(problem.atoms) == 1
+    assert parse_problem(header + '(assert (=> (= x "a") true))').atoms == []
+    problem = parse_problem(header + '(assert (=> (str.prefixof "b" x) false))')
+    assert len(problem.atoms) == 1 and not problem.atoms[0].positive
+    # a string literal spelling "true" is NOT the Bool constant
+    problem = parse_problem(header + '(assert (= x "true"))')
+    assert len(problem.atoms) == 1 and isinstance(problem.atoms[0], WordEquation)
+    # ... nor inside the pure-LIA translator: these are ill-sorted
+    int_header = "(declare-const i Int)"
+    with pytest.raises(SmtLibError):
+        parse_problem(int_header + '(assert (or (<= i 0) "true"))')
+    with pytest.raises(SmtLibError):
+        parse_problem(int_header + '(assert (not (and (>= i 5) "true")))')
+    # an iff between two non-constant Bool terms stays out of the fragment
+    with pytest.raises(SmtLibError):
+        parse_problem(
+            header + '(assert (= (str.prefixof "a" x) (str.prefixof "b" x)))'
+        )
+
+
 def test_normalization_cache_stays_bounded():
     from repro.strings.normal_form import NormalizationCache, normalize
 
