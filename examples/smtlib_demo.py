@@ -45,9 +45,32 @@ SCRIPT = """
 """
 
 
+#: the extended extraction functions: indexof names the separator
+#: position, substr cuts the prefix — the shape symbolic executors emit
+EXTRACTION_SCRIPT = """
+(set-logic QF_SLIA)
+(set-info :alphabet "ab/")
+(declare-const path String)
+(declare-const sep Int)
+(declare-const dir String)
+(assert (str.in_re path (re.* (re.union (str.to_re "a") (str.to_re "b") (str.to_re "/")))))
+(assert (= sep (str.indexof path "/" 0)))
+(assert (>= sep 1))
+(assert (= dir (str.substr path 0 sep)))
+(assert (>= (str.len dir) 2))
+(check-sat)
+(get-model)
+"""
+
+
 def main():
     print("== streaming the script into a session (python -m repro.smtlib) ==")
     for line in run_script(SCRIPT, config=SolverConfig(timeout=30.0)):
+        print(line)
+
+    print()
+    print("== str.indexof / str.substr extraction chain ==")
+    for line in run_script(EXTRACTION_SCRIPT, config=SolverConfig(timeout=30.0)):
         print(line)
 
     print()

@@ -12,10 +12,13 @@ Public API highlights:
 * :class:`repro.solver.EagerReductionSolver` and
   :class:`repro.solver.EnumerativeSolver` — the comparison baselines,
 * :mod:`repro.strings` — the constraint AST (``Problem``, ``WordEquation``,
-  ``Contains``, ...),
+  ``Contains``, ..., plus the extended ``SubstrAtom`` / ``IndexOfAtom`` /
+  ``ReplaceAtom`` compiled away by :mod:`repro.strings.reductions`),
 * :mod:`repro.smtlib` — the SMT-LIB 2.6 QF_SLIA frontend
   (``parse_script``/``parse_problem``/``problem_to_smtlib`` and the
-  ``python -m repro.smtlib`` command-line runner),
+  ``python -m repro.smtlib`` command-line runner; ``str.substr`` /
+  ``str.indexof`` / ``str.replace`` and ``re.inter`` / ``re.comp`` are
+  covered),
 * :mod:`repro.core` — the tag-automaton encodings themselves,
 * :mod:`repro.automata` and :mod:`repro.lia` — the NFA and LIA substrates,
 * :mod:`repro.benchgen` — benchmark generators and the evaluation harness.
@@ -47,13 +50,16 @@ from .solver import (
 )
 from .strings import (
     Contains,
+    IndexOfAtom,
     LengthConstraint,
     PrefixOf,
     Problem,
     RegexMembership,
+    ReplaceAtom,
     StrAtAtom,
     StringLiteral,
     StringVar,
+    SubstrAtom,
     SuffixOf,
     WordEquation,
     lit,
@@ -80,6 +86,9 @@ __all__ = [
     "SuffixOf",
     "Contains",
     "StrAtAtom",
+    "SubstrAtom",
+    "IndexOfAtom",
+    "ReplaceAtom",
     "LengthConstraint",
     "StringVar",
     "StringLiteral",

@@ -8,13 +8,21 @@ from . import operations as ops
 from .nfa import Nfa, State
 
 
-def minimize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Nfa:
+def minimize(
+    nfa: Nfa,
+    alphabet: Optional[Iterable[str]] = None,
+    max_states: Optional[int] = None,
+) -> Nfa:
     """Return the minimal complete DFA equivalent to ``nfa``.
 
     The result is represented as an :class:`Nfa` whose transition relation is
     deterministic.  Hopcroft's partition-refinement algorithm is used on the
     determinised, completed automaton; unreachable blocks are trimmed at the
     end but the sink may be kept when it is needed for completeness.
+
+    ``max_states`` bounds the subset construction (worst-case exponential):
+    when the cap is hit the *input* automaton is returned unchanged —
+    minimisation is best-effort, the language never changes.
     """
     sigma = sorted(set(alphabet) if alphabet is not None else nfa.alphabet)
     if not sigma:
@@ -22,7 +30,10 @@ def minimize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Nfa:
         if nfa.accepts(""):
             return Nfa.epsilon_language()
         return Nfa.empty_language()
-    dfa, _ = ops.determinize(nfa, sigma)
+    try:
+        dfa, _ = ops.determinize(nfa, sigma, max_states=max_states)
+    except ops.StateBudgetExceeded:
+        return nfa
 
     states = sorted(dfa.states)
     finals = set(dfa.final)

@@ -123,13 +123,23 @@ def remove_epsilon(nfa: Nfa) -> Nfa:
     return result
 
 
-def determinize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Tuple[Nfa, Dict[FrozenSet[State], State]]:
+class StateBudgetExceeded(Exception):
+    """Raised by :func:`determinize` when ``max_states`` would be exceeded."""
+
+
+def determinize(
+    nfa: Nfa,
+    alphabet: Optional[Iterable[str]] = None,
+    max_states: Optional[int] = None,
+) -> Tuple[Nfa, Dict[FrozenSet[State], State]]:
     """Subset construction.
 
     Returns a complete DFA (represented as an :class:`Nfa` whose transition
     relation is deterministic and total over ``alphabet``) together with the
     mapping from subsets of states to DFA states.  The empty subset acts as
-    the sink state.
+    the sink state.  ``max_states`` caps the construction (the subset space
+    is worst-case exponential); exceeding it raises
+    :class:`StateBudgetExceeded`.
     """
     sigma = set(alphabet) if alphabet is not None else set(nfa.alphabet)
     dfa = Nfa(sigma)
@@ -137,6 +147,8 @@ def determinize(nfa: Nfa, alphabet: Optional[Iterable[str]] = None) -> Tuple[Nfa
 
     def state_for(subset: FrozenSet[State]) -> State:
         if subset not in subset_to_state:
+            if max_states is not None and len(subset_to_state) >= max_states:
+                raise StateBudgetExceeded(f"more than {max_states} DFA states")
             subset_to_state[subset] = dfa.add_state()
             if subset & nfa.final:
                 dfa.make_final(subset_to_state[subset])

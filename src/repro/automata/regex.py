@@ -12,6 +12,11 @@ conveniences common in SMT-LIB ``re`` terms:
 * character classes ``[abc]``, ranges ``[a-z]`` and negated classes
   ``[^abc]`` (negation requires an explicit alphabet),
 * ``.`` matching any symbol of the supplied alphabet,
+* intersection ``&`` (binds between ``|`` and concatenation — the SMT-LIB
+  ``re.inter``) and the prefix complement ``~`` (applies to the following
+  repetition unit, postfix operators included: ``~a*`` is the complement
+  of ``a*`` — the SMT-LIB ``re.comp``; complementation is relative to the
+  supplied alphabet),
 * the empty regex denotes the empty word.
 
 Parsing produces a small AST (:class:`RegexNode` subclasses) which is then
@@ -31,6 +36,15 @@ DEFAULT_ALPHABET = tuple("abcdefghijklmnopqrstuvwxyz0123456789")
 
 class RegexError(ValueError):
     """Raised when a regular expression cannot be parsed."""
+
+
+#: characters that carry meaning in the pattern syntax
+PATTERN_SPECIALS = frozenset("\\()[]{}*+?|.^-&~")
+
+
+def escape(text: str) -> str:
+    """Escape ``text`` so it matches literally inside a pattern."""
+    return "".join("\\" + char if char in PATTERN_SPECIALS else char for char in text)
 
 
 # ----------------------------------------------------------------------
@@ -122,6 +136,29 @@ class Repeat(RegexNode):
         return ops.repeat(self.inner.compile(alphabet), self.low, self.high)
 
 
+@dataclass(frozen=True)
+class Intersection(RegexNode):
+    """Intersection of sub-expressions (the SMT-LIB ``re.inter``)."""
+
+    parts: Tuple[RegexNode, ...]
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        result = self.parts[0].compile(alphabet)
+        for part in self.parts[1:]:
+            result = ops.intersection(result, part.compile(alphabet))
+        return result
+
+
+@dataclass(frozen=True)
+class Complement(RegexNode):
+    """Complement relative to the alphabet (the SMT-LIB ``re.comp``)."""
+
+    inner: RegexNode
+
+    def compile(self, alphabet: Sequence[str]) -> Nfa:
+        return ops.complement(self.inner.compile(alphabet), alphabet)
+
+
 # ----------------------------------------------------------------------
 # Parser (recursive descent)
 # ----------------------------------------------------------------------
@@ -149,22 +186,32 @@ class _Parser:
                 f"expected {char!r} at position {self.pos - 1} of {self.pattern!r}, got {actual!r}"
             )
 
-    # alternation := concat ('|' concat)*
+    # alternation := intersection ('|' intersection)*
     def parse_alternation(self) -> RegexNode:
-        options = [self.parse_concat()]
+        options = [self.parse_intersection()]
         while self.peek() == "|":
             self.take()
-            options.append(self.parse_concat())
+            options.append(self.parse_intersection())
         if len(options) == 1:
             return options[0]
         return Alternation(tuple(options))
+
+    # intersection := concat ('&' concat)*
+    def parse_intersection(self) -> RegexNode:
+        parts = [self.parse_concat()]
+        while self.peek() == "&":
+            self.take()
+            parts.append(self.parse_concat())
+        if len(parts) == 1:
+            return parts[0]
+        return Intersection(tuple(parts))
 
     # concat := repeat*
     def parse_concat(self) -> RegexNode:
         parts: List[RegexNode] = []
         while True:
             char = self.peek()
-            if char is None or char in ")|":
+            if char is None or char in ")|&":
                 break
             parts.append(self.parse_repeat())
         if not parts:
@@ -173,8 +220,11 @@ class _Parser:
             return parts[0]
         return Concat(tuple(parts))
 
-    # repeat := atom ('*' | '+' | '?' | '{n,m}')*
+    # repeat := '~' repeat | atom ('*' | '+' | '?' | '{n,m}')*
     def parse_repeat(self) -> RegexNode:
+        if self.peek() == "~":
+            self.take()
+            return Complement(self.parse_repeat())
         node = self.parse_atom()
         while True:
             char = self.peek()

@@ -13,6 +13,14 @@ decision procedure (and our benchmark workloads) need:
 * *assignment-shaped* equations ``x = y₁ · … · y_k`` where ``x`` does not
   occur on the right-hand side (the common shape produced by symbolic
   execution), solved exactly by noodlification,
+* *two-sided* concatenation equations ``x₁ … x_m = y₁ … y_n`` by Levi
+  splits: the head variables either coincide or one is a prefix of the
+  other (``x₁ = y₁ · f`` with a fresh ``f``), each branch reducing to an
+  assignment-shaped equation plus a strictly shorter two-sided remainder.
+  Splits are budgeted (repeated variables can make the rewriting grow), so
+  the procedure stays terminating — the shape arises from the extended
+  string functions, whose reductions put several structural splits on one
+  haystack variable (``s = p·r·q ∧ s = a·x·t·y``),
 * systems of such equations, processed to a fixpoint with a branch budget.
 
 Anything outside this fragment makes the solver report "don't know", which
@@ -27,6 +35,7 @@ from itertools import product
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..automata import intersection, remove_epsilon
+from ..automata.minimization import minimize
 from ..automata.nfa import EPSILON, Nfa
 
 VarEquation = Tuple[Tuple[str, ...], Tuple[str, ...]]
@@ -104,15 +113,29 @@ def noodlify_assignment(
 
     # The split points are assignments of target states to the k-1 internal
     # boundaries plus an initial and a final state of the target.
+    def boundary_count(nfa: Nfa) -> int:
+        total = 1
+        for choice in [nfa.initial] + [nfa.states] * (len(parts) - 1) + [nfa.final]:
+            total *= max(len(choice), 1)
+        return total
+
+    if boundary_count(target) > max_noodles:
+        # The split count is exponential in the boundary choices; a
+        # minimized target often collapses them (a Thompson-compiled
+        # ``(a|b)+`` has 6 states where 2 suffice).  The subset
+        # construction is capped — an adversarial target whose DFA
+        # explodes must keep the instant too-hard bail-out below instead
+        # of stalling past the solver's deadline.
+        reduced = minimize(target, max_states=4 * len(target.states) + 16)
+        if boundary_count(reduced) < boundary_count(target):
+            target = reduced
+    total = boundary_count(target)
+    if total > max_noodles:
+        raise EquationTooHard(f"too many noodles ({total} > {max_noodles})")
     target_states = sorted(target.states)
     initials = sorted(target.initial)
     finals = sorted(target.final)
     boundary_choices = [initials] + [target_states] * (len(parts) - 1) + [finals]
-    total = 1
-    for choice in boundary_choices:
-        total *= max(len(choice), 1)
-    if total > max_noodles:
-        raise EquationTooHard(f"too many noodles ({total} > {max_noodles})")
 
     noodles: List[Dict[str, Nfa]] = []
     for assignment in product(*boundary_choices):
@@ -148,19 +171,86 @@ def _orient(equation: VarEquation) -> Optional[Tuple[str, Tuple[str, ...]]]:
     return None
 
 
+def _refuted_by_consequences(
+    equations: Sequence[VarEquation], automata: Dict[str, Nfa]
+) -> bool:
+    """Cheap sound refutation: same-variable structural consequences.
+
+    Two equations ``x = T₁`` and ``x = T₂`` imply ``T₁ = T₂``; after
+    cancelling the common prefix and suffix *variables*, a remainder of the
+    shape ``u = v`` with ``L(u) ∩ L(v) = ∅`` — or ``u = ε`` with
+    ``ε ∉ L(u)`` — is unsatisfiable.  This catches the fixed-point patterns
+    the extended-function reductions produce (``s = x·"a"·y ∧ s = x·"b"·y``
+    from ``str.replace(s, "a", "b") = s``) without exploring the
+    exponential alignment space of the splits.
+    """
+    by_var: Dict[str, List[Tuple[str, ...]]] = {}
+    for lhs, rhs in equations:
+        if len(lhs) == 1 and lhs[0] not in rhs:
+            by_var.setdefault(lhs[0], []).append(rhs)
+        if len(rhs) == 1 and rhs[0] not in lhs:
+            by_var.setdefault(rhs[0], []).append(lhs)
+    for sides in by_var.values():
+        for i in range(len(sides)):
+            for j in range(i + 1, len(sides)):
+                left, right = list(sides[i]), list(sides[j])
+                while left and right and left[0] == right[0]:
+                    left.pop(0)
+                    right.pop(0)
+                while left and right and left[-1] == right[-1]:
+                    left.pop()
+                    right.pop()
+                if not left and not right:
+                    continue
+                if not left or not right:
+                    remainder = right or left
+                    if any(
+                        name in automata and not automata[name].accepts("")
+                        for name in remainder
+                    ):
+                        return True
+                    continue
+                if len(left) == 1 and len(right) == 1:
+                    one, other = automata.get(left[0]), automata.get(right[0])
+                    if one is None or other is None:
+                        continue
+                    if not intersection(one, other).trim().states and not (
+                        one.accepts("") and other.accepts("")
+                    ):
+                        return True
+    return False
+
+
 def decompose(
     equations: Sequence[VarEquation],
     automata: Dict[str, Nfa],
     max_branches: int = 128,
     max_noodles: int = 256,
+    alphabet: Optional[Tuple[str, ...]] = None,
+    max_levi_splits: int = 128,
 ) -> DecompositionResult:
     """Eliminate the given equations, producing a monadic decomposition.
 
     The result is a list of branches (disjuncts); an empty list with
     ``complete=True`` means the equations (with the regular constraints) are
     unsatisfiable.  ``complete=False`` signals that some equation was outside
-    the supported fragment or a budget was exceeded.
+    the supported fragment or a budget was exceeded.  ``alphabet`` supplies
+    the language of the fresh variables Levi splits introduce (defaults to
+    the union of the given automata's alphabets).
     """
+    if alphabet is None:
+        sigma: Tuple[str, ...] = tuple(
+            sorted(set().union(*(nfa.alphabet for nfa in automata.values())))
+        ) if automata else ()
+    else:
+        sigma = tuple(alphabet)
+    universal = Nfa.universal(sigma)
+    levi_fresh = 0
+    levi_splits = 0
+
+    if _refuted_by_consequences(equations, automata):
+        return DecompositionResult(branches=[], complete=True)
+
     work: List[Tuple[List[VarEquation], Branch]] = [
         (list(equations), Branch(dict(automata)))
     ]
@@ -199,7 +289,50 @@ def decompose(
 
         oriented = _orient((lhs, rhs))
         if oriented is None:
-            complete = False
+            # Two-sided concatenation (both sides longer than one variable,
+            # or a side-with-occurrence): eliminate by a Levi split.
+            if not lhs or not rhs:
+                # ε = v₁ … v_n: every variable of the other side is ε.
+                side = rhs if not lhs else lhs
+                new_automata = dict(branch.automata)
+                substitution = dict(branch.substitution)
+                feasible = True
+                for name in side:
+                    if not branch.automata[name].accepts(""):
+                        feasible = False
+                        break
+                    new_automata[name] = Nfa.epsilon_language()
+                    substitution[name] = ()
+                if feasible:
+                    work.append((rest, Branch(new_automata, substitution)))
+                continue
+            head_l, head_r = lhs[0], rhs[0]
+            if head_l == head_r:
+                # The same variable heads both sides: cancel it.
+                work.append(([(lhs[1:], rhs[1:])] + rest, branch))
+                continue
+            if levi_splits >= max_levi_splits or (
+                len(finished) + len(work) + 2 > max_branches
+            ):
+                complete = False
+                continue
+            levi_splits += 1
+            # Either |head_l| >= |head_r| (head_l = head_r · f) or the other
+            # way around; both reduce to an assignment-shaped equation plus
+            # a shorter two-sided remainder (they overlap at f = g = ε).
+            for longer, shorter, l_tail, r_tail in (
+                (head_l, head_r, lhs[1:], rhs[1:]),
+                (head_r, head_l, rhs[1:], lhs[1:]),
+            ):
+                fresh = f"%levi{levi_fresh}"
+                levi_fresh += 1
+                new_automata = dict(branch.automata)
+                new_automata[fresh] = universal
+                split: List[VarEquation] = [
+                    ((longer,), (shorter, fresh)),
+                    ((fresh,) + tuple(l_tail), tuple(r_tail)),
+                ]
+                work.append((split + rest, Branch(new_automata, dict(branch.substitution))))
             continue
         x, parts = oriented
         if not parts:

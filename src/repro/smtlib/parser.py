@@ -11,18 +11,23 @@ covers — conjunctions of possibly-negated string atoms, with full boolean
 structure allowed inside pure linear-integer subformulae):
 
 * string terms: variables, literals, ``str.++``, ``str.at`` (at the top of
-  an equality);
+  an equality), ``str.substr`` / ``str.replace`` — anywhere a string term
+  may occur: at the top of an equality they become the extended atoms of
+  :mod:`repro.strings.ast` directly, in nested positions a fresh
+  definitional constant (``_sub!N`` / ``_rep!N``) names the value;
 * string atoms: ``=`` / ``distinct``, ``str.prefixof``, ``str.suffixof``,
   ``str.contains`` (note the argument swap: SMT-LIB's *haystack first*
   becomes the AST's *needle first*), ``str.in_re``;
-* regular expressions: ``str.to_re``, ``re.++``, ``re.union``, ``re.*``,
-  ``re.+``, ``re.opt``, ``(_ re.loop l u)``, ``re.range``, ``re.allchar``,
-  ``re.all`` — translated to the pattern syntax of
-  :mod:`repro.automata.regex`;
-* integers: ``+``, ``-``, ``*`` (by constants), numerals, ``str.len``, and
-  the relations ``<= < >= > = distinct`` with ``and``/``or``/``not``/``=>``
-  boolean structure — including negated n-ary ``distinct``, which becomes a
-  disjunction of equalities;
+* regular expressions: ``str.to_re``, ``re.++``, ``re.union``,
+  ``re.inter``, ``re.comp``, ``re.*``, ``re.+``, ``re.opt``,
+  ``(_ re.loop l u)``, ``re.range``, ``re.allchar``, ``re.all`` —
+  translated to the pattern syntax of :mod:`repro.automata.regex`
+  (``re.inter`` / ``re.comp`` print back, so round trips stay fixpoints);
+* integers: ``+``, ``-``, ``*`` (by constants), numerals, ``str.len``,
+  ``str.indexof`` (directly at an equality, via a fresh ``_idx!N``
+  constant elsewhere), and the relations ``<= < >= > = distinct`` with
+  ``and``/``or``/``not``/``=>`` boolean structure — including negated
+  n-ary ``distinct``, which becomes a disjunction of equalities;
 * the Bool constants ``true`` / ``false`` anywhere in assert bodies, by
   constant folding: ``(= φ true)``, ``(distinct φ false)``, absorbing /
   neutral elements of ``and`` / ``or`` / ``=>``.  Only an equality between
@@ -47,22 +52,24 @@ from ..lia import FALSE, TRUE, LinExpr, conj, disj, eq as lia_eq, implies, le as
 from ..strings.ast import (
     Atom,
     Contains,
+    IndexOfAtom,
     LengthConstraint,
     PrefixOf,
     Problem,
     RegexMembership,
+    ReplaceAtom,
     StrAtAtom,
     StringLiteral,
     StringTerm,
     StringVar,
+    SubstrAtom,
     SuffixOf,
     WordEquation,
     str_len,
 )
 from .lexer import SExpr, SmtLibError, SString, read_sexprs
 
-#: characters that carry meaning in :mod:`repro.automata.regex` patterns
-_PATTERN_SPECIALS = set("\\()[]{}*+?|.^-")
+from ..automata.regex import PATTERN_SPECIALS as _PATTERN_SPECIALS
 
 
 def _escape_pattern(char: str) -> str:
@@ -226,9 +233,30 @@ class _Translator:
         self.alphabet = alphabet
         self.sorts: Dict[str, str] = {}
         self.line = 0
+        #: definitional atoms produced while translating the current assert
+        #: body (fresh variables naming nested ``str.substr`` /
+        #: ``str.indexof`` / ``str.replace`` applications)
+        self.pending: List[Atom] = []
+        self._fresh = 0
 
     def error(self, message: str) -> SmtLibError:
         return SmtLibError(message, self.line)
+
+    def fresh_const(self, hint: str, sort: str) -> str:
+        """Declare a fresh constant naming a nested extended application."""
+        while True:
+            name = f"_{hint}!{self._fresh}"
+            self._fresh += 1
+            if name not in self.sorts:
+                break
+        self.sorts[name] = sort
+        return name
+
+    def translate_assert(self, body: SExpr) -> List[Atom]:
+        """Translate one assert body (definitional atoms first)."""
+        self.pending = []
+        main = self.atoms(body)
+        return self.pending + main
 
     # -- sorts ----------------------------------------------------------
     def sort_of(self, expr: SExpr) -> str:
@@ -245,9 +273,9 @@ class _Translator:
             return sort
         if isinstance(expr, list) and expr:
             head = expr[0]
-            if head in ("str.++", "str.at", "str.substr"):
+            if head in ("str.++", "str.at", "str.substr", "str.replace"):
                 return "String"
-            if head in ("str.len", "+", "-", "*", "div", "mod", "abs"):
+            if head in ("str.len", "str.indexof", "+", "-", "*", "div", "mod", "abs"):
                 return "Int"
             return "Bool"
         raise self.error(f"cannot determine the sort of {expr!r}")
@@ -265,6 +293,17 @@ class _Translator:
             for arg in expr[1:]:
                 parts.extend(self.string_term(arg))
             return tuple(parts)
+        if isinstance(expr, list) and expr and expr[0] in ("str.substr", "str.replace"):
+            # A nested application: name its value with a fresh constant and
+            # record the (always-positive) definitional atom — the extended
+            # functions are total, so the definition is polarity-independent.
+            name = self.fresh_const("sub" if expr[0] == "str.substr" else "rep", "String")
+            target: StringTerm = (StringVar(name),)
+            if expr[0] == "str.substr":
+                self.pending.append(self._substr_atom(target, expr, True))
+            else:
+                self.pending.append(self._replace_atom(target, expr, True))
+            return target
         raise self.error(f"unsupported string term {expr!r}")
 
     # -- integer terms --------------------------------------------------
@@ -316,7 +355,48 @@ class _Translator:
                 else:
                     total = total + len(element.value)
             return total
+        if head == "str.indexof":
+            # A nested application in integer position: name its value with
+            # a fresh Int constant and record the definitional atom.
+            name = self.fresh_const("idx", "Int")
+            result = LinExpr.var(name)
+            self.pending.append(self._indexof_atom(result, expr, True))
+            return result
         raise self.error(f"unsupported integer operator {head!r}")
+
+    # -- extended string functions --------------------------------------
+    def _substr_atom(self, target: StringTerm, app: SExpr, positive: bool) -> Atom:
+        if len(app) != 4:
+            raise self.error("str.substr takes three arguments")
+        return SubstrAtom(
+            target,
+            self.string_term(app[1]),
+            self.int_term(app[2]),
+            self.int_term(app[3]),
+            positive=positive,
+        )
+
+    def _replace_atom(self, target: StringTerm, app: SExpr, positive: bool) -> Atom:
+        if len(app) != 4:
+            raise self.error("str.replace takes three arguments")
+        return ReplaceAtom(
+            target,
+            self.string_term(app[1]),
+            self.string_term(app[2]),
+            self.string_term(app[3]),
+            positive=positive,
+        )
+
+    def _indexof_atom(self, result: LinExpr, app: SExpr, positive: bool) -> Atom:
+        if len(app) != 4:
+            raise self.error("str.indexof takes three arguments")
+        return IndexOfAtom(
+            result,
+            self.string_term(app[1]),
+            self.string_term(app[2]),
+            self.int_term(app[3]),
+            positive=positive,
+        )
 
     # -- pure-LIA formulae ---------------------------------------------
     def lia_formula(self, expr: SExpr) -> LiaFormula:
@@ -399,6 +479,14 @@ class _Translator:
             inner = self.regex_pattern(expr[1])
             suffix = {"re.*": "*", "re.+": "+", "re.opt": "?"}[head]
             return f"({inner}){suffix}"
+        if head == "re.inter":
+            if len(expr) < 2:
+                raise self.error("re.inter takes at least one argument")
+            return "(" + "&".join(f"({self.regex_pattern(arg)})" for arg in expr[1:]) + ")"
+        if head == "re.comp":
+            if len(expr) != 2:
+                raise self.error("re.comp takes one argument")
+            return f"(~({self.regex_pattern(expr[1])}))"
         if head == "re.range":
             if (
                 len(expr) != 3
@@ -508,6 +596,14 @@ class _Translator:
                 return self._string_equalities(expr[1:], equal, chained=head == "=")
             if argument_sorts == {"Bool"}:
                 return self._bool_equalities(expr[1:], head == "=", positive)
+            if argument_sorts == {"Int"} and len(expr) == 3:
+                # A (dis)equality with a direct str.indexof application on
+                # one side becomes the atom itself — no fresh constant, so
+                # printing and re-parsing reach a fixpoint immediately.
+                equal = (head == "=") == positive
+                for app_side, other in ((expr[1], expr[2]), (expr[2], expr[1])):
+                    if isinstance(app_side, list) and app_side and app_side[0] == "str.indexof":
+                        return [self._indexof_atom(self.int_term(other), app_side, equal)]
             if (
                 head == "distinct"
                 and not positive
@@ -633,19 +729,26 @@ class _Translator:
         return collected
 
     def _string_equality(self, left: SExpr, right: SExpr, equal: bool) -> Atom:
-        for target_side, at_side in ((left, right), (right, left)):
-            if isinstance(at_side, list) and at_side and at_side[0] == "str.at":
-                if len(at_side) != 3:
+        for target_side, app_side in ((left, right), (right, left)):
+            if not (isinstance(app_side, list) and app_side):
+                continue
+            head = app_side[0]
+            if head == "str.at":
+                if len(app_side) != 3:
                     raise self.error("str.at takes two arguments")
                 target = self.string_term(target_side)
                 if len(target) != 1:
                     raise self.error("str.at must be compared to one variable or literal")
                 return StrAtAtom(
                     target[0],
-                    self.string_term(at_side[1]),
-                    self.int_term(at_side[2]),
+                    self.string_term(app_side[1]),
+                    self.int_term(app_side[2]),
                     positive=equal,
                 )
+            if head == "str.substr":
+                return self._substr_atom(self.string_term(target_side), app_side, equal)
+            if head == "str.replace":
+                return self._replace_atom(self.string_term(target_side), app_side, equal)
         return WordEquation(self.string_term(left), self.string_term(right), positive=equal)
 
 
@@ -715,7 +818,7 @@ def parse_script(text: str) -> SmtScript:
                     if annotations[position] == ":named":
                         name = str(annotations[position + 1])
                 body = body[1]
-            script.commands.append(AssertCommand(translator.atoms(body), name=name))
+            script.commands.append(AssertCommand(translator.translate_assert(body), name=name))
         elif head in ("push", "pop"):
             levels = form[1] if len(form) > 1 else 1
             if not isinstance(levels, int) or levels < 0:

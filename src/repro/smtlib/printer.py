@@ -20,8 +20,10 @@ from ..automata.regex import (
     Alternation,
     AnyChar,
     CharClass,
+    Complement,
     Concat,
     Empty,
+    Intersection,
     Literal,
     RegexNode,
     Repeat,
@@ -31,14 +33,17 @@ from ..lia import And, BoolConst, Eq, Formula, Iff, Implies, Le, LinExpr, Not, O
 from ..strings.ast import (
     Atom,
     Contains,
+    IndexOfAtom,
     LengthConstraint,
     PrefixOf,
     Problem,
     RegexMembership,
+    ReplaceAtom,
     StrAtAtom,
     StringLiteral,
     StringTerm,
     StringVar,
+    SubstrAtom,
     SuffixOf,
     WordEquation,
 )
@@ -139,6 +144,10 @@ def regex_node_to_sexpr(node: RegexNode) -> str:
         return "(re.++ " + " ".join(regex_node_to_sexpr(part) for part in node.parts) + ")"
     if isinstance(node, Alternation):
         return "(re.union " + " ".join(regex_node_to_sexpr(option) for option in node.options) + ")"
+    if isinstance(node, Intersection):
+        return "(re.inter " + " ".join(regex_node_to_sexpr(part) for part in node.parts) + ")"
+    if isinstance(node, Complement):
+        return f"(re.comp {regex_node_to_sexpr(node.inner)})"
     if isinstance(node, Repeat):
         inner = regex_node_to_sexpr(node.inner)
         if node.low == 0 and node.high is None:
@@ -191,6 +200,24 @@ def atom_to_sexpr(atom: Atom) -> str:
         index = atom.index if isinstance(atom.index, LinExpr) else LinExpr.constant(int(atom.index))
         body = f"(= {target} (str.at {term_to_sexpr(atom.haystack)} {linexpr_to_sexpr(index)}))"
         return body if atom.positive else f"(not {body})"
+    if isinstance(atom, SubstrAtom):
+        body = (
+            f"(= {term_to_sexpr(atom.target)} (str.substr {term_to_sexpr(atom.haystack)} "
+            f"{linexpr_to_sexpr(atom.offset)} {linexpr_to_sexpr(atom.length)}))"
+        )
+        return body if atom.positive else f"(not {body})"
+    if isinstance(atom, IndexOfAtom):
+        body = (
+            f"(= {linexpr_to_sexpr(atom.result)} (str.indexof {term_to_sexpr(atom.haystack)} "
+            f"{term_to_sexpr(atom.needle)} {linexpr_to_sexpr(atom.offset)}))"
+        )
+        return body if atom.positive else f"(not {body})"
+    if isinstance(atom, ReplaceAtom):
+        body = (
+            f"(= {term_to_sexpr(atom.target)} (str.replace {term_to_sexpr(atom.haystack)} "
+            f"{term_to_sexpr(atom.needle)} {term_to_sexpr(atom.replacement)}))"
+        )
+        return body if atom.positive else f"(not {body})"
     if isinstance(atom, LengthConstraint):
         return formula_to_sexpr(atom.formula)
     raise PrintError(f"atom {atom!r} has no SMT-LIB rendering")
@@ -214,7 +241,10 @@ def problem_to_smtlib(
     ``get-unsat-core`` output is meaningful.
     """
     if logic is None:
-        has_ints = any(isinstance(atom, (LengthConstraint, StrAtAtom)) for atom in problem.atoms)
+        has_ints = any(
+            isinstance(atom, (LengthConstraint, StrAtAtom, SubstrAtom, IndexOfAtom))
+            for atom in problem.atoms
+        )
         logic = "QF_SLIA" if has_ints else "QF_S"
     lines: List[str] = [f"(set-logic {logic})"]
     if problem.name:

@@ -12,7 +12,8 @@ from itertools import product
 from typing import Dict, List, Optional, Tuple
 
 from ..automata.enumeration import is_finite, words_up_to
-from ..strings.ast import Problem
+from ..automata.nfa import Nfa
+from ..strings.ast import EXTENDED_ATOMS, Problem
 from ..strings.normal_form import normalize
 from ..strings.semantics import eval_problem
 from .result import SolveResult, Status, StringModel, Stopwatch
@@ -31,14 +32,27 @@ def brute_force_check(
     variables beyond the supplied range matter), and UNKNOWN otherwise.
     """
     watch = Stopwatch(timeout)
-    normal_form = normalize(problem)
+    # The normal form only exists for the conjunctive core; the extended
+    # atoms (substr/indexof/replace) contribute no membership constraints
+    # and are checked purely by evaluation below.
+    core = Problem(
+        atoms=[atom for atom in problem.atoms if not isinstance(atom, EXTENDED_ATOMS)],
+        alphabet=problem.alphabet,
+        name=problem.name,
+    )
+    normal_form = normalize(core)
     variables = list(problem.string_variables())
     integer_variables = list(problem.integer_variables())
 
     candidate_words: Dict[str, List[str]] = {}
     exhaustive = True
+    alphabet = tuple(problem.alphabet)
     for name in variables:
-        nfa = normal_form.automata[name]
+        nfa = normal_form.automata.get(name)
+        if nfa is None:
+            # Only extended atoms mention the variable: every word over the
+            # alphabet is a candidate (never an exhaustive enumeration).
+            nfa = Nfa.universal(alphabet)
         candidate_words[name] = list(words_up_to(nfa, max_length))
         if not is_finite(nfa):
             exhaustive = False

@@ -61,6 +61,16 @@ class SolverConfig:
     #: the assumption-literal provenance already yields verified cores; the
     #: deletion verifier remains available as an independent oracle
     core_deletion_check: bool = False
+    #: cap on the case product of the extended-function reduction
+    #: (``str.substr`` expands into 1 case, ``str.indexof`` into 4,
+    #: ``str.replace`` into 3 — see :mod:`repro.strings.reductions`);
+    #: a problem whose product exceeds the cap answers ``unknown``
+    max_reduction_cases: int = 64
+    #: decomposition branch budget for reduced (extended-function) case
+    #: problems: several structural splits of one haystack overlap through
+    #: Levi alignment, which needs more room than the chain-free
+    #: ``max_branches`` default
+    reduction_max_branches: int = 512
     #: capacity of the session pipeline's component-encoding memo (entries
     #: are tag-automaton encodings keyed by predicate set and automata)
     session_encoding_cache: int = 256

@@ -11,8 +11,12 @@ Every session owns one :class:`~repro.solver.solver.IncrementalPipeline`,
 so chains of related checks reuse normalisation, decomposition, the
 tag-automaton encodings and the per-branch LIA assertion stacks across
 calls — the access pattern of symbolic-execution clients, where each path
-extends the previous one by a constraint or two.  A session is *not*
-thread-safe; give each worker its own.
+extends the previous one by a constraint or two.  Assertions may use the
+extended extraction atoms (:class:`~repro.strings.ast.SubstrAtom`,
+:class:`~repro.strings.ast.IndexOfAtom`,
+:class:`~repro.strings.ast.ReplaceAtom`); the pipeline compiles them away
+per check and maps cores back.  A session is *not* thread-safe; give each
+worker its own.
 
 Unsat cores
 -----------

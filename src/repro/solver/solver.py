@@ -2,6 +2,11 @@
 
 Pipeline for an input problem (a conjunction of string atoms):
 
+0. **Reduction** (:mod:`repro.strings.reductions`): the extended atoms
+   (``str.substr`` / ``str.indexof`` / ``str.replace``) are compiled into
+   core-only case conjunctions; each case runs through the stages below
+   and the verdicts are merged (first sat case wins, all-unsat merges the
+   provenance-mapped cores).
 1. **Normalisation** (:mod:`repro.strings.normal_form`) into
    ``E ∧ R ∧ I ∧ P``.
 2. **Stabilization** (:mod:`repro.eqsolver.noodler`): the word equations
@@ -93,6 +98,7 @@ from ..lia import LinExpr
 from ..lia.simplify import eliminate_equalities
 from ..strings.ast import Problem, RegexMembership, length_variable
 from ..strings.normal_form import NormalForm, NormalizationCache, normalize
+from ..strings.reductions import ReductionError, needs_reduction, reduce_problem
 from ..strings.semantics import eval_problem
 from .config import SolverConfig
 from .result import SolveResult, Status, Stopwatch, StringModel
@@ -235,14 +241,110 @@ class IncrementalPipeline:
             "lia_parts_asserted": 0,
             "lia_parts_reused": 0,
             "distinct_shortcuts": 0,
+            "reduction_cases": 0,
         }
 
     # ------------------------------------------------------------------
     def check(self, problem: Problem) -> SolveResult:
-        """Decide satisfiability of ``problem`` (reusing every warm cache)."""
+        """Decide satisfiability of ``problem`` (reusing every warm cache).
+
+        Problems containing the extended string functions (``str.substr``,
+        ``str.indexof``, ``str.replace``) are first compiled into core-only
+        case conjunctions by :mod:`repro.strings.reductions`; each case
+        runs through the cached conjunctive pipeline and the verdicts are
+        merged (sat: first satisfiable case, with the reduction's fresh
+        variables stripped from the model; unsat: all cases refuted, cores
+        mapped back to the input atoms through the case provenance).
+        """
         self.counters["checks"] += 1
         watch = Stopwatch(self.config.timeout)
+        if needs_reduction(problem):
+            return self._check_extended(problem, watch)
+        return self._check_core(problem, watch)
 
+    def _check_extended(self, problem: Problem, watch: Stopwatch) -> SolveResult:
+        """Case-expand the extended atoms, decide each case, merge verdicts."""
+        try:
+            cases = reduce_problem(problem, max_cases=self.config.max_reduction_cases)
+        except ReductionError as error:
+            return SolveResult(Status.UNKNOWN, elapsed=watch.elapsed(), reason=str(error))
+        self.counters["reduction_cases"] = (
+            self.counters.get("reduction_cases", 0) + len(cases)
+        )
+
+        branches = 0
+        lia_queries = 0
+        stats: Dict[str, int] = {}
+        saw_unknown = False
+        participants_known = True
+        core: Set[int] = set()
+        widened: Set[int] = set()
+        for case in cases:
+            if watch.expired():
+                return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason="timeout",
+                                   branches_explored=branches, lia_queries=lia_queries, stats=stats)
+            result = self._check_core(
+                case.problem, watch, branch_budget=self.config.reduction_max_branches
+            )
+            branches += result.branches_explored
+            lia_queries += result.lia_queries
+            for key, value in result.stats.items():
+                stats[key] = stats.get(key, 0) + value
+            if result.status is Status.SAT:
+                model = StringModel(
+                    strings={
+                        name: word
+                        for name, word in result.model.strings.items()
+                        if name not in case.fresh_variables
+                    },
+                    integers=dict(result.model.integers),
+                )
+                if self.config.verify_models and not eval_problem(
+                    problem, model.strings, model.integers
+                ):
+                    # The case model must satisfy the original extended
+                    # atoms by construction; a failure here means the
+                    # reduction (not the encoder) is wrong — stay sound.
+                    saw_unknown = True
+                    continue
+                return SolveResult(Status.SAT, model=model, elapsed=watch.elapsed(),
+                                   branches_explored=branches, lia_queries=lia_queries, stats=stats)
+            if result.status is Status.TIMEOUT:
+                return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason=result.reason,
+                                   branches_explored=branches, lia_queries=lia_queries, stats=stats)
+            if result.status is Status.UNKNOWN:
+                saw_unknown = True
+                continue
+            # UNSAT: map the case's core through the provenance.
+            if result.core_atoms is None:
+                participants_known = False
+            else:
+                mapped = {case.provenance[i] for i in result.core_atoms}
+                core |= mapped
+                if result.core_atoms_widened is not None:
+                    widened |= {case.provenance[i] for i in result.core_atoms_widened}
+                else:
+                    widened |= mapped
+        if saw_unknown:
+            return SolveResult(Status.UNKNOWN, elapsed=watch.elapsed(),
+                               reason="some reduction case could not be decided exactly",
+                               branches_explored=branches, lia_queries=lia_queries, stats=stats)
+        return SolveResult(
+            Status.UNSAT,
+            elapsed=watch.elapsed(),
+            branches_explored=branches,
+            lia_queries=lia_queries,
+            stats=stats,
+            core_atoms=frozenset(core) if participants_known else None,
+            core_atoms_widened=(
+                frozenset(widened) if participants_known and widened != core else None
+            ),
+        )
+
+    def _check_core(
+        self, problem: Problem, watch: Stopwatch, branch_budget: Optional[int] = None
+    ) -> SolveResult:
+        """The conjunctive-core pipeline (no extended atoms)."""
         atoms_key = (problem.alphabet,) + tuple(_atom_key(atom) for atom in problem.atoms)
         normal_form = self._normal_forms.lookup(atoms_key)
         if normal_form is None:
@@ -252,7 +354,7 @@ class IncrementalPipeline:
         else:
             self.counters["normal_form_hits"] += 1
 
-        branches, branch_fp_base, all_exact = self._decompose(normal_form)
+        branches, branch_fp_base, all_exact = self._decompose(normal_form, branch_budget)
 
         lia_queries = 0
         saw_unknown = False
@@ -340,8 +442,11 @@ class IncrementalPipeline:
     # ------------------------------------------------------------------
     # Decomposition (cached)
     # ------------------------------------------------------------------
-    def _decompose(self, normal_form: NormalForm) -> Tuple[List[Branch], Tuple, bool]:
+    def _decompose(
+        self, normal_form: NormalForm, branch_budget: Optional[int] = None
+    ) -> Tuple[List[Branch], Tuple, bool]:
         """Run (or reuse) the equation elimination for this normal form."""
+        max_branches = branch_budget or self.config.max_branches
         if not normal_form.equations:
             branch = Branch(dict(normal_form.automata))
             return [branch], ("noeq", normal_form.alphabet), True
@@ -357,7 +462,7 @@ class IncrementalPipeline:
         key = (
             tuple(normal_form.equations),
             tuple(eq_automata.items()),
-            self.config.max_branches,
+            max_branches,
             self.config.max_noodles,
         )
         decomposition: Optional[DecompositionResult] = self._decompositions.lookup(key)
@@ -366,8 +471,10 @@ class IncrementalPipeline:
             decomposition = decompose(
                 normal_form.equations,
                 eq_automata,
-                max_branches=self.config.max_branches,
+                max_branches=max_branches,
                 max_noodles=self.config.max_noodles,
+                alphabet=normal_form.alphabet,
+                max_levi_splits=2 * max_branches,
             )
             self._decompositions.store(key, decomposition)
         else:

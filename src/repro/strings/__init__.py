@@ -10,21 +10,27 @@ import each other's halves, so the binding resolves on first use).
 from .ast import (
     Atom,
     Contains,
+    EXTENDED_ATOMS,
+    IndexOfAtom,
     LengthConstraint,
     PrefixOf,
     Problem,
     RegexMembership,
+    ReplaceAtom,
     StrAtAtom,
     StringLiteral,
     StringVar,
+    SubstrAtom,
     SuffixOf,
     WordEquation,
     length_variable,
     lit,
     str_len,
     term,
+    term_length,
 )
 from .normal_form import NormalForm, NormalizationCache, normalize
+from .reductions import ReducedCase, ReductionError, needs_reduction, reduce_problem
 from .semantics import eval_atom, eval_problem, eval_term
 
 #: SMT-LIB entry points re-exported lazily from :mod:`repro.smtlib`

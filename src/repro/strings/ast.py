@@ -8,6 +8,12 @@ memberships, integer (length) constraints and the predicates ``prefixof``,
 Boolean structure is out of scope; the benchmark generators emit
 conjunctions, as the paper's normal form does).
 
+On top of the core sit the *extended* atoms for the SMT-LIB 2.6
+extraction functions — :class:`SubstrAtom`, :class:`IndexOfAtom`,
+:class:`ReplaceAtom` (see :data:`EXTENDED_ATOMS`).  They are definitional
+(``target = f(args)``, possibly negated) and are compiled into the core
+by :mod:`repro.strings.reductions` before solving.
+
 Integer constraints are ordinary :mod:`repro.lia` formulae; the length of a
 string variable ``x`` is referred to through the reserved LIA variable
 returned by :func:`str_len`.
@@ -179,6 +185,83 @@ class StrAtAtom:
 
 
 @dataclass(frozen=True)
+class SubstrAtom:
+    """``target = str.substr(haystack, offset, length)`` (or its negation).
+
+    Semantics follow SMT-LIB 2.6: when ``0 <= offset < |haystack|`` and
+    ``length > 0`` the right-hand side is the word of length
+    ``min(length, |haystack| - offset)`` starting at ``offset``; otherwise
+    it is the empty word.  The atom is *extended* — the solver pipeline
+    compiles it away via :mod:`repro.strings.reductions` before the
+    conjunctive core ever sees it.
+    """
+
+    target: StringTerm
+    haystack: StringTerm
+    offset: LinExpr
+    length: LinExpr
+    positive: bool = True
+
+    def __str__(self) -> str:
+        op = "=" if self.positive else "≠"
+        return (
+            f"{term_to_str(self.target)} {op} "
+            f"str.substr({term_to_str(self.haystack)}, {self.offset}, {self.length})"
+        )
+
+
+@dataclass(frozen=True)
+class IndexOfAtom:
+    """``result = str.indexof(haystack, needle, offset)`` (or its negation).
+
+    Semantics follow SMT-LIB 2.6: when ``0 <= offset <= |haystack|`` and the
+    needle occurs in the haystack at or after ``offset``, the right-hand
+    side is the smallest such occurrence position (the empty needle occurs
+    at every position, so its index is ``offset``); otherwise it is ``-1``.
+    ``result`` is an arbitrary linear integer expression.  Extended atom —
+    reduced away by :mod:`repro.strings.reductions`.
+    """
+
+    result: LinExpr
+    haystack: StringTerm
+    needle: StringTerm
+    offset: LinExpr
+    positive: bool = True
+
+    def __str__(self) -> str:
+        op = "=" if self.positive else "≠"
+        return (
+            f"{self.result} {op} str.indexof({term_to_str(self.haystack)}, "
+            f"{term_to_str(self.needle)}, {self.offset})"
+        )
+
+
+@dataclass(frozen=True)
+class ReplaceAtom:
+    """``target = str.replace(haystack, needle, replacement)`` (or its negation).
+
+    Semantics follow SMT-LIB 2.6: the first occurrence of the needle in the
+    haystack is replaced by the replacement; if the needle does not occur
+    the haystack is returned unchanged (the empty needle occurs at position
+    0, so the result is then ``replacement ++ haystack``).  Extended atom —
+    reduced away by :mod:`repro.strings.reductions`.
+    """
+
+    target: StringTerm
+    haystack: StringTerm
+    needle: StringTerm
+    replacement: StringTerm
+    positive: bool = True
+
+    def __str__(self) -> str:
+        op = "=" if self.positive else "≠"
+        return (
+            f"{term_to_str(self.target)} {op} str.replace({term_to_str(self.haystack)}, "
+            f"{term_to_str(self.needle)}, {term_to_str(self.replacement)})"
+        )
+
+
+@dataclass(frozen=True)
 class LengthConstraint:
     """An integer-arithmetic constraint (a :mod:`repro.lia` formula).
 
@@ -198,8 +281,28 @@ Atom = Union[
     SuffixOf,
     Contains,
     StrAtAtom,
+    SubstrAtom,
+    IndexOfAtom,
+    ReplaceAtom,
     LengthConstraint,
 ]
+
+#: atoms outside the conjunctive core; :mod:`repro.strings.reductions`
+#: compiles them into word equations, LIA guards and ¬contains side
+#: conditions before the solver pipeline runs
+EXTENDED_ATOMS = (SubstrAtom, IndexOfAtom, ReplaceAtom)
+
+
+def term_length(string_term: StringTerm) -> LinExpr:
+    """The length of a string term as a LIA expression (``@len`` variables
+    for the variables, constants for the literals)."""
+    total = LinExpr.constant(0)
+    for element in string_term:
+        if isinstance(element, StringVar):
+            total = total + str_len(element.name)
+        else:
+            total = total + len(element.value)
+    return total
 
 
 # ----------------------------------------------------------------------
@@ -235,6 +338,13 @@ class Problem:
         return " ∧ ".join(str(atom) for atom in self.atoms)
 
 
+def _length_referenced(expr: LinExpr) -> Tuple[str, ...]:
+    """String variables an integer expression refers to via ``@len.``."""
+    return tuple(
+        name[len("@len.") :] for name in expr.variables() if name.startswith("@len.")
+    )
+
+
 def atom_string_variables(atom: Atom) -> Tuple[str, ...]:
     """String variables of one atom."""
     if isinstance(atom, WordEquation):
@@ -248,6 +358,23 @@ def atom_string_variables(atom: Atom) -> Tuple[str, ...]:
     if isinstance(atom, StrAtAtom):
         target = (atom.target.name,) if isinstance(atom.target, StringVar) else ()
         return tuple(dict.fromkeys(target + term_variables(atom.haystack)))
+    if isinstance(atom, SubstrAtom):
+        names = term_variables(atom.target) + term_variables(atom.haystack)
+        names += _length_referenced(atom.offset) + _length_referenced(atom.length)
+        return tuple(dict.fromkeys(names))
+    if isinstance(atom, IndexOfAtom):
+        names = term_variables(atom.haystack) + term_variables(atom.needle)
+        names += _length_referenced(atom.result) + _length_referenced(atom.offset)
+        return tuple(dict.fromkeys(names))
+    if isinstance(atom, ReplaceAtom):
+        return tuple(
+            dict.fromkeys(
+                term_variables(atom.target)
+                + term_variables(atom.haystack)
+                + term_variables(atom.needle)
+                + term_variables(atom.replacement)
+            )
+        )
     if isinstance(atom, LengthConstraint):
         names = []
         for variable in atom.formula.variables():
@@ -261,6 +388,14 @@ def atom_integer_variables(atom: Atom) -> Tuple[str, ...]:
     """Integer variables of one atom (excluding reserved length variables)."""
     if isinstance(atom, StrAtAtom):
         return atom.index.variables()
+    if isinstance(atom, SubstrAtom):
+        names = atom.offset.variables() + atom.length.variables()
+        return tuple(dict.fromkeys(v for v in names if not v.startswith("@len.")))
+    if isinstance(atom, IndexOfAtom):
+        names = atom.result.variables() + atom.offset.variables()
+        return tuple(dict.fromkeys(v for v in names if not v.startswith("@len.")))
+    if isinstance(atom, ReplaceAtom):
+        return ()
     if isinstance(atom, LengthConstraint):
         return tuple(v for v in atom.formula.variables() if not v.startswith("@len."))
     return ()

@@ -15,18 +15,52 @@ from ..lia import evaluate as lia_evaluate
 from .ast import (
     Atom,
     Contains,
+    IndexOfAtom,
     LengthConstraint,
     PrefixOf,
     Problem,
     RegexMembership,
+    ReplaceAtom,
     StrAtAtom,
     StringLiteral,
     StringTerm,
     StringVar,
+    SubstrAtom,
     SuffixOf,
     WordEquation,
     length_variable,
 )
+
+
+def _eval_int(expr, integers: Mapping[str, int], strings: Mapping[str, str]) -> int:
+    """Evaluate a LIA expression, resolving ``@len.x`` through the strings."""
+    assignment: Dict[str, int] = {}
+    for name in expr.variables():
+        if name.startswith("@len."):
+            assignment[name] = len(strings[name[len("@len.") :]])
+        else:
+            assignment[name] = integers.get(name, 0)
+    return int(expr.evaluate(assignment))
+
+
+def str_substr(word: str, offset: int, length: int) -> str:
+    """SMT-LIB 2.6 ``str.substr`` on concrete values."""
+    if 0 <= offset < len(word) and length > 0:
+        return word[offset : offset + length]
+    return ""
+
+
+def str_indexof(word: str, needle: str, offset: int) -> int:
+    """SMT-LIB 2.6 ``str.indexof`` on concrete values."""
+    if 0 <= offset <= len(word):
+        return word.find(needle, offset)
+    return -1
+
+
+def str_replace(word: str, needle: str, replacement: str) -> str:
+    """SMT-LIB 2.6 ``str.replace`` on concrete values (first occurrence;
+    an empty needle prepends the replacement)."""
+    return word.replace(needle, replacement, 1)
 
 
 def eval_term(string_term: StringTerm, strings: Mapping[str, str]) -> str:
@@ -81,6 +115,30 @@ def eval_atom(
             else atom.target.value
         )
         result = target == expected
+        return result if atom.positive else not result
+    if isinstance(atom, SubstrAtom):
+        value = str_substr(
+            eval_term(atom.haystack, strings),
+            _eval_int(atom.offset, integers, strings),
+            _eval_int(atom.length, integers, strings),
+        )
+        result = eval_term(atom.target, strings) == value
+        return result if atom.positive else not result
+    if isinstance(atom, IndexOfAtom):
+        value = str_indexof(
+            eval_term(atom.haystack, strings),
+            eval_term(atom.needle, strings),
+            _eval_int(atom.offset, integers, strings),
+        )
+        result = _eval_int(atom.result, integers, strings) == value
+        return result if atom.positive else not result
+    if isinstance(atom, ReplaceAtom):
+        value = str_replace(
+            eval_term(atom.haystack, strings),
+            eval_term(atom.needle, strings),
+            eval_term(atom.replacement, strings),
+        )
+        result = eval_term(atom.target, strings) == value
         return result if atom.positive else not result
     if isinstance(atom, LengthConstraint):
         assignment: Dict[str, int] = {}

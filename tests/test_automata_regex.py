@@ -99,3 +99,52 @@ def test_enumeration_of_regex_language():
     nfa = compile_regex("(a|b){1,2}", alphabet="ab")
     words = set(words_up_to(nfa, 2))
     assert words == {"a", "b", "aa", "ab", "ba", "bb"}
+
+
+# ----------------------------------------------------------------------
+# Intersection (&) and complement (~)
+# ----------------------------------------------------------------------
+def test_intersection_operator():
+    nfa = compile_regex("(ab)*&(a|b){2,4}", alphabet="ab")
+    assert nfa.accepts("ab")
+    assert nfa.accepts("abab")
+    assert not nfa.accepts("")  # too short for the right operand
+    assert not nfa.accepts("ababab")  # too long
+    assert not nfa.accepts("aa")  # not in (ab)*
+
+
+def test_complement_operator():
+    nfa = compile_regex("~(a*)", alphabet="ab")
+    assert not nfa.accepts("")
+    assert not nfa.accepts("aaa")
+    assert nfa.accepts("b")
+    assert nfa.accepts("ab")
+
+
+def test_complement_binds_postfix_operators():
+    # ~ applies to the following repetition unit *including* its postfix.
+    nfa = compile_regex("~a*", alphabet="ab")
+    assert not nfa.accepts("aa")
+    assert nfa.accepts("ba")
+
+
+def test_complement_of_complement_is_identity():
+    nfa = compile_regex("~(~((ab)*))", alphabet="ab")
+    assert nfa.accepts("")
+    assert nfa.accepts("abab")
+    assert not nfa.accepts("ba")
+
+
+def test_intersection_precedence_between_union_and_concat():
+    # | binds weaker than &: a|b&b = a | (b&b)
+    nfa = compile_regex("a|b&b", alphabet="ab")
+    assert nfa.accepts("a")
+    assert nfa.accepts("b")
+    nfa = compile_regex("a&b", alphabet="ab")
+    assert not nfa.accepts("a")
+    assert not nfa.accepts("b")
+
+
+def test_escaped_intersection_and_complement_literals():
+    nfa = compile_regex("\\&\\~", alphabet=("&", "~"))
+    assert nfa.accepts("&~")

@@ -81,15 +81,94 @@ def test_decompose_chained_equations():
         assert "x" not in branch.expand("x")
 
 
-def test_decompose_reports_incompleteness_on_hard_equations():
+def test_decompose_solves_two_sided_equations_by_levi_splits():
+    automata = {
+        "x": compile_regex("(ab)*", alphabet="ab"),
+        "y": compile_regex("b*", alphabet="ab"),
+        "z": compile_regex("a*", alphabet="ab"),
+        "w": compile_regex("(a|b)*", alphabet="ab"),
+    }
+    # Both sides are proper concatenations: eliminated by Levi splits.
+    result = decompose([(("x", "y"), ("z", "w"))], automata, alphabet=("a", "b"))
+    assert result.complete
+    assert result.branches
+    # Soundness: in every branch, picking any words for the remaining
+    # variables and expanding both sides yields the same concatenation.
+    for branch in result.branches:
+        remaining = {
+            name
+            for name in branch.automata
+            if name not in branch.substitution
+        }
+        words = {}
+        for name in remaining:
+            choices = list(words_up_to(branch.automata[name], 2))
+            assert choices, f"{name} has an empty refinement"
+            words[name] = choices[-1]
+        lhs = "".join(words[p] for p in branch.expand_term(("x", "y")))
+        rhs = "".join(words[p] for p in branch.expand_term(("z", "w")))
+        assert lhs == rhs
+
+
+def test_decompose_levi_finds_two_sided_solutions():
+    automata = {
+        "x": compile_regex("a*", alphabet="ab"),
+        "y": compile_regex("b*", alphabet="ab"),
+        "z": compile_regex("aab*", alphabet="ab"),
+    }
+    # x . y = z has the solutions aa b^n; the decomposition must keep one.
+    result = decompose([(("x", "y"), ("z",))], automata, alphabet=("a", "b"))
+    assert result.complete or result.branches
+    found = False
+    for branch in result.branches:
+        words = {}
+        ok = True
+        for name in branch.automata:
+            if name in branch.substitution:
+                continue
+            choices = list(words_up_to(branch.automata[name], 3))
+            if not choices:
+                ok = False
+                break
+            words[name] = choices[-1]
+        if not ok:
+            continue
+        lhs = "".join(words[p] for p in branch.expand_term(("x", "y")))
+        rhs = "".join(words[p] for p in branch.expand_term(("z",)))
+        if lhs == rhs and automata["z"].accepts(rhs):
+            found = True
+    assert found
+
+
+def test_noodlify_minimization_is_budgeted():
+    # The pre-split minimization must not determinize an exponential
+    # subset space: this target's DFA has ~2^22 states, and the old
+    # behaviour (instant EquationTooHard) must be preserved rather than
+    # stalling past any solver deadline.
+    import time
+
+    target = compile_regex("(a|b)*a(a|b){21}", alphabet="ab")
+    parts = [
+        ("y", compile_regex("(a|b)*", alphabet="ab")),
+        ("z", compile_regex("(a|b)*", alphabet="ab")),
+        ("w", compile_regex("(a|b)*", alphabet="ab")),
+    ]
+    started = time.monotonic()
+    with pytest.raises(EquationTooHard):
+        noodlify_assignment(target, parts)
+    assert time.monotonic() - started < 5.0
+
+
+def test_decompose_reports_incompleteness_on_levi_budget():
     automata = {
         "x": compile_regex("(a|b)*", alphabet="ab"),
         "y": compile_regex("(a|b)*", alphabet="ab"),
         "z": compile_regex("(a|b)*", alphabet="ab"),
         "w": compile_regex("(a|b)*", alphabet="ab"),
     }
-    # Both sides are proper concatenations: outside the supported fragment.
-    result = decompose([(("x", "y"), ("z", "w"))], automata)
+    result = decompose(
+        [(("x", "y"), ("z", "w"))], automata, alphabet=("a", "b"), max_levi_splits=0
+    )
     assert not result.complete
 
 

@@ -430,3 +430,138 @@ def test_cli_main_reports_errors(tmp_path, capsys):
     path.write_text("(assert (= x y))\n")
     assert cli_main([str(path)]) == 1
     assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Extended string functions (str.substr / str.indexof / str.replace)
+# ----------------------------------------------------------------------
+def test_substr_parses_and_solves():
+    out = run_script(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const s String)\n(declare-const t String)\n"
+        '(assert (str.in_re s (re.* (str.to_re "ab"))))\n'
+        "(assert (>= (str.len s) 4))\n"
+        "(assert (= t (str.substr s 1 2)))\n"
+        "(assert (>= (str.len t) 1))\n"
+        "(check-sat)\n(get-model)\n",
+        config=SolverConfig(timeout=30.0),
+    )
+    assert out[0] == "sat"
+    assert 'define-fun t () String "ba"' in out[1]
+
+
+def test_indexof_direct_equality_and_nested_occurrence():
+    out = run_script(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const s String)\n(declare-const k Int)\n"
+        '(assert (str.in_re s (re.* (str.to_re "ab"))))\n'
+        '(assert (= k (str.indexof s "b" 0)))\n'
+        "(assert (= k 1))\n"
+        "(check-sat)\n",
+        config=SolverConfig(timeout=30.0),
+    )
+    assert out == ["sat"]
+    # nested in a comparison: goes through a fresh definitional constant
+    out = run_script(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const s String)\n"
+        '(assert (str.in_re s (re.* (str.to_re "ab"))))\n'
+        '(assert (>= (str.indexof s "b" 0) 1))\n'
+        "(check-sat)\n",
+        config=SolverConfig(timeout=30.0),
+    )
+    assert out == ["sat"]
+
+
+def test_replace_parses_and_solves():
+    out = run_script(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const s String)\n(declare-const r String)\n"
+        '(assert (str.in_re s (re.+ (str.to_re "ab"))))\n'
+        "(assert (>= (str.len s) 4))\n"
+        '(assert (= r (str.replace s "ab" "b")))\n'
+        "(check-sat)\n(get-model)\n",
+        config=SolverConfig(timeout=30.0),
+    )
+    assert out[0] == "sat"
+
+
+def test_extended_functions_round_trip_to_a_fixpoint():
+    text = (
+        "(set-logic QF_SLIA)\n"
+        '(set-info :alphabet "ab")\n'
+        "(declare-const s String)\n(declare-const t String)\n(declare-const k Int)\n"
+        "(assert (= t (str.substr s 0 2)))\n"
+        '(assert (= k (str.indexof s "b" 1)))\n'
+        '(assert (= t (str.replace s "a" "b")))\n'
+        '(assert (str.contains (str.substr s 1 3) "ab"))\n'
+        '(assert (>= (str.indexof s "a" 0) 0))\n'
+        "(check-sat)\n"
+    )
+    printed = problem_to_smtlib(parse_problem(text), status="unknown")
+    reprinted = problem_to_smtlib(parse_problem(printed), status="unknown")
+    assert printed == reprinted
+    assert "str.substr" in printed and "str.indexof" in printed and "str.replace" in printed
+
+
+def test_extended_function_arity_errors():
+    for body in (
+        "(str.substr s 1)",
+        "(str.indexof s)",
+        '(str.replace s "a")',
+    ):
+        with pytest.raises(SmtLibError):
+            parse_problem(
+                "(declare-const s String)\n(declare-const t String)\n"
+                f"(assert (= t {body}))\n(check-sat)\n"
+            )
+
+
+def test_negated_substr_equality():
+    out = run_script(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const t String)\n"
+        '(assert (str.in_re t (str.to_re "a")))\n'
+        '(assert (not (= t (str.substr "ab" 0 1))))\n'
+        "(check-sat)\n",
+        config=SolverConfig(timeout=30.0),
+    )
+    assert out == ["unsat"]
+
+
+# ----------------------------------------------------------------------
+# re.inter / re.comp
+# ----------------------------------------------------------------------
+def test_re_inter_and_re_comp_solve():
+    out = run_script(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const x String)\n"
+        '(assert (str.in_re x (re.inter (re.* (str.to_re "ab")) (re.+ re.allchar))))\n'
+        '(assert (str.in_re x (re.comp (str.to_re "ab"))))\n'
+        "(check-sat)\n(get-model)\n",
+        config=SolverConfig(timeout=30.0),
+    )
+    assert out[0] == "sat"
+    assert '"abab"' in out[1]
+
+
+def test_re_inter_and_re_comp_print_parse_fixpoint():
+    text = (
+        "(set-logic QF_S)\n"
+        '(set-info :alphabet "ab")\n'
+        "(declare-const x String)\n"
+        '(assert (str.in_re x (re.inter (re.* (str.to_re "a")) (re.comp (str.to_re "aa")))))\n'
+        "(check-sat)\n"
+    )
+    printed = problem_to_smtlib(parse_problem(text), status="unknown")
+    reprinted = problem_to_smtlib(parse_problem(printed), status="unknown")
+    assert printed == reprinted
+    assert "re.inter" in printed and "re.comp" in printed
+
+
+def test_re_comp_arity_error():
+    with pytest.raises(SmtLibError):
+        parse_problem(
+            "(declare-const x String)\n"
+            '(assert (str.in_re x (re.comp (str.to_re "a") (str.to_re "b"))))\n'
+        )
