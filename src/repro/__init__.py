@@ -37,6 +37,7 @@ Quick start::
     session.pop()  # back to the memberships alone
 """
 
+from .budget import Budget, BudgetExceeded, UnknownKind, UnknownReason
 from .solver import (
     EagerReductionSolver,
     EnumerativeSolver,
@@ -70,6 +71,10 @@ from .strings import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "UnknownKind",
+    "UnknownReason",
     "Session",
     "PositionSolver",
     "EagerReductionSolver",

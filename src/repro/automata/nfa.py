@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..budget import checkpoint
+
 #: Epsilon label used on transitions that do not consume a symbol.
 EPSILON: Optional[str] = None
 
@@ -216,6 +218,7 @@ class Nfa:
         work = deque(self.initial)
         seen.update(self.initial)
         while work:
+            checkpoint("automata.reachable")
             state = work.popleft()
             for _, dst in self.transitions_from(state):
                 if dst not in seen:
@@ -231,6 +234,7 @@ class Nfa:
         seen: Set[State] = set(self.final)
         work = deque(self.final)
         while work:
+            checkpoint("automata.coreachable")
             state = work.popleft()
             for src in predecessors.get(state, set()):
                 if src not in seen:

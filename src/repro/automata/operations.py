@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
+from ..budget import checkpoint
 from .nfa import EPSILON, Nfa, State
 
 
@@ -112,6 +113,7 @@ def remove_epsilon(nfa: Nfa) -> Nfa:
         state: nfa.epsilon_closure([state]) for state in nfa.states
     }
     for state in nfa.states:
+        checkpoint("automata.remove_epsilon")
         closure = closures[state]
         if closure & nfa.final:
             result.make_final(state)
@@ -160,6 +162,9 @@ def determinize(
     work = deque([start])
     processed: Set[FrozenSet[State]] = {start}
     while work:
+        # One budget step per explored subset — the unit the worst-case
+        # exponential blowup is measured in.
+        checkpoint("automata.determinize")
         subset = work.popleft()
         src = state_for(subset)
         for symbol in sigma:
@@ -214,6 +219,7 @@ def intersection(left: Nfa, right: Nfa) -> Nfa:
         (p, q) for p in left_nf.initial for q in right_nf.initial
     )
     while work:
+        checkpoint("automata.intersection")
         p, q = work.popleft()
         src = state_for((p, q))
         # Intersect the symbol partitions of both states: the product only

@@ -37,6 +37,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from ..automata import intersection, remove_epsilon
 from ..automata.minimization import minimize
 from ..automata.nfa import EPSILON, Nfa
+from ..budget import checkpoint
 
 VarEquation = Tuple[Tuple[str, ...], Tuple[str, ...]]
 
@@ -139,6 +140,9 @@ def noodlify_assignment(
 
     noodles: List[Dict[str, Nfa]] = []
     for assignment in product(*boundary_choices):
+        # One budget step per boundary assignment — each costs a product
+        # construction per part, so this loop dominates noodlification.
+        checkpoint("eqsolver.noodlify")
         refinement: Dict[str, Nfa] = {}
         feasible = True
         for index, (name, part_nfa) in enumerate(zip(names, part_automata)):
@@ -258,6 +262,7 @@ def decompose(
     complete = True
 
     while work:
+        checkpoint("eqsolver.decompose")
         pending, branch = work.pop()
         if not pending:
             finished.append(branch)

@@ -45,12 +45,12 @@ for why anything less is unsound).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from fractions import Fraction
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..budget import Budget
 from .simplex import Constraint, Simplex, SimplexResult
 
 
@@ -490,6 +490,7 @@ def check_integer_feasibility(
     cut_rounds: int = 10,
     max_cuts: int = 200,
     omega: bool = True,
+    budget: Optional[Budget] = None,
 ) -> IntResult:
     """Decide whether ``constraints`` have an integer solution.
 
@@ -499,8 +500,15 @@ def check_integer_feasibility(
     call (0 disables cutting planes), and ``omega`` gates the Omega-test
     pre-pass on the reduced system (see the module docstring).  The function
     either returns a definitive :class:`IntResult` or raises
-    :class:`ResourceLimit`.
+    :class:`ResourceLimit` on the node/depth budgets.  Wall-clock bounding
+    goes through ``budget`` (one checkpoint per branch-and-bound node,
+    raising :class:`repro.budget.BudgetExceeded` — deliberately distinct
+    from ``ResourceLimit``, which callers treat as a recoverable
+    per-assignment event); ``deadline`` is the legacy spelling and is
+    folded into a local budget when no shared one is given.
     """
+    if budget is None and deadline is not None:
+        budget = Budget(deadline=deadline)
     original_constraints = list(constraints)
     reduced, eliminated_defs, conflict_tags = _eliminate_equalities_over_z(original_constraints)
     if reduced is None:
@@ -550,8 +558,8 @@ def check_integer_feasibility(
             raise ResourceLimit(f"branch-and-bound exceeded {max_nodes} nodes")
         if depth > max_depth:
             raise ResourceLimit(f"branch-and-bound exceeded depth {max_depth}")
-        if deadline is not None and time.monotonic() > deadline:
-            raise ResourceLimit("branch-and-bound exceeded the time budget")
+        if budget is not None:
+            budget.checkpoint("lia.intsolver")
 
         relaxation: SimplexResult = simplex.check()
         if not relaxation.feasible:
@@ -579,8 +587,8 @@ def check_integer_feasibility(
             if not relaxation.feasible:
                 return IntResult(False, conflict=relaxation.conflict)
             branch_var = _fractional_variable(relaxation.model, integer_vars)
-            if deadline is not None and time.monotonic() > deadline:
-                raise ResourceLimit("branch-and-cut exceeded the time budget")
+            if budget is not None:
+                budget.checkpoint("lia.intsolver")
 
         if branch_var is None:
             model = {

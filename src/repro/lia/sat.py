@@ -75,11 +75,11 @@ the clause database and then resolved by the regular 1UIP analysis.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..budget import Budget
 from .intsolver import ResourceLimit
 
 Clause = Tuple[int, ...]
@@ -1018,6 +1018,7 @@ class DpllSolver:
         deadline: Optional[float] = None,
         max_conflicts: Optional[int] = None,
         assumptions: Sequence[int] = (),
+        budget: Optional[Budget] = None,
     ) -> Tuple[str, Optional[Dict[int, bool]]]:
         """Run the search; returns ``("sat", model)`` or ``("unsat", None)``.
 
@@ -1026,11 +1027,16 @@ class DpllSolver:
         ``assumptions`` are literals decided before any free decision; when
         they make the problem unsatisfiable, :attr:`failed_assumptions`
         holds the blamed subset (empty when the clause set is unsatisfiable
-        on its own).  Raises :class:`ResourceLimit` when the conflict or
-        time budget is exhausted.
+        on its own).  Raises :class:`ResourceLimit` when the conflict
+        budget is exhausted; wall-clock bounding goes through ``budget``
+        (one checkpoint per search iteration, raising
+        :class:`repro.budget.BudgetExceeded`), with ``deadline`` kept as a
+        legacy spelling that is folded into a local budget.
         """
         deadline = self.deadline if deadline is None else deadline
-        budget = self.max_conflicts if max_conflicts is None else max_conflicts
+        if budget is None and deadline is not None:
+            budget = Budget(deadline=deadline)
+        conflict_budget = self.max_conflicts if max_conflicts is None else max_conflicts
         assumptions = tuple(assumptions)
         for literal in assumptions:
             self.ensure_vars(abs(literal))
@@ -1051,11 +1057,11 @@ class DpllSolver:
         heavy_since_conflicts = False
 
         def over_budget() -> bool:
-            return self.stats.conflicts - conflicts_at_start > budget
+            return self.stats.conflicts - conflicts_at_start > conflict_budget
 
         while True:
-            if deadline is not None and time.monotonic() > deadline:
-                raise ResourceLimit("SAT search exceeded the time budget")
+            if budget is not None:
+                budget.checkpoint("lia.sat")
 
             if self.request_restart:
                 self.request_restart = False

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..budget import checkpoint
 from .terms import And, BoolConst, Eq, Formula, LinExpr, conj, substitute
 
 #: Maximum number of variables in a defining expression used for elimination;
@@ -57,6 +58,10 @@ def eliminate_equalities(
     while changed:
         changed = False
         for index, conjunct in enumerate(conjuncts):
+            # Each accepted substitution rewrites every other conjunct, so a
+            # full elimination pass is quadratic on adversarial chains — on a
+            # tight budget this is where a check must be interruptible.
+            checkpoint("lia.presolve")
             if not isinstance(conjunct, Eq):
                 continue
             isolated = _isolate(conjunct.expr, protected)
@@ -68,6 +73,7 @@ def eliminate_equalities(
             for position, other in enumerate(conjuncts):
                 if position == index:
                     continue
+                checkpoint("lia.presolve")
                 replaced = substitute(other, mapping)
                 if isinstance(replaced, BoolConst) and replaced.value:
                     continue

@@ -44,11 +44,11 @@ every free variable of the asserted formulae.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..budget import Budget, BudgetExceeded
 from .cnf import CnfBuilder
 from .intsolver import (
     ResourceLimit,
@@ -215,7 +215,9 @@ class _Context:
         #: what refutes gcd/divisibility conflicts long before the search
         #: completes an assignment
         self._int_prune = False
-        self._deadline: Optional[float] = None
+        #: active resource budget for the current ``check`` (shared with the
+        #: SAT search and the integer core; ``None`` outside a check)
+        self._budget: Optional[Budget] = None
         self._last_model: Dict[str, int] = {}
         self._int_pivots = 0
         self._cache_hits = 0
@@ -278,13 +280,16 @@ class _Context:
                     self._var_set.add(name)
                     self._var_list.append(name)
         combined = conj([self._apply_subst(formula) for formula in self.pending])
-        self.pending.clear()
 
         if self.config.presolve and not isinstance(combined, BoolConst):
+            # The elimination loop checkpoints against the ambient budget and
+            # may abort; keep the flush transactional by clearing the pending
+            # queue only once the fallible presolve work is behind us.
             combined, eliminated = eliminate_equalities(
                 combined, protected=self._encoded_vars
             )
             self.eliminated.extend(eliminated)
+        self.pending.clear()
 
         if isinstance(combined, BoolConst):
             if not combined.value:
@@ -329,8 +334,8 @@ class _Context:
     # Theory hook
     # ------------------------------------------------------------------
     def _theory_callback(self, true_atoms: Set[int], final: bool):
-        if self._deadline is not None and time.monotonic() > self._deadline:
-            raise ResourceLimit("LIA solving exceeded the time budget")
+        if self._budget is not None:
+            self._budget.checkpoint("lia.theory")
         if not final:
             if not self.config.partial_theory_checks or not true_atoms:
                 return None
@@ -388,14 +393,12 @@ class _Context:
                 constraints,
                 integer_vars=None,
                 max_nodes=self.config.branch_and_bound_nodes,
-                deadline=self._deadline,
+                budget=self._budget,
                 cut_rounds=self.config.gomory_cut_rounds,
                 max_cuts=self.config.max_gomory_cuts,
                 omega=self.config.omega_elimination,
             )
         except ResourceLimit:
-            if self._deadline is not None and time.monotonic() > self._deadline:
-                raise
             # Branch-and-bound could not decide this boolean assignment.
             # Block it and remember that an UNSAT verdict is no longer
             # trustworthy (results become UNKNOWN from here on).
@@ -509,14 +512,12 @@ class _Context:
                 integral = check_integer_feasibility(
                     constraints,
                     max_nodes=60,
-                    deadline=self._deadline,
+                    budget=self._budget,
                     cut_rounds=self.config.gomory_cut_rounds,
                     max_cuts=min(64, self.config.max_gomory_cuts),
                     omega=self.config.omega_elimination,
                 )
             except ResourceLimit:
-                if self._deadline is not None and time.monotonic() > self._deadline:
-                    raise
                 continue
             if not integral.feasible:
                 return set(member_atoms)
@@ -572,14 +573,12 @@ class _Context:
                 outcome = check_integer_feasibility(
                     rest,
                     max_nodes=50,
-                    deadline=self._deadline,
+                    budget=self._budget,
                     cut_rounds=self.config.gomory_cut_rounds,
                     max_cuts=min(64, self.config.max_gomory_cuts),
                     omega=self.config.omega_elimination,
                 )
             except ResourceLimit:
-                if self._deadline is not None and time.monotonic() > self._deadline:
-                    raise
                 return None  # budget exhausted: conservatively keep the atom
             return None if outcome.feasible else (outcome.conflict or set())
 
@@ -698,9 +697,19 @@ class _Context:
         self,
         deadline: Optional[float] = None,
         assumptions: Sequence[Tuple[object, Formula]] = (),
+        budget: Optional[Budget] = None,
     ) -> LiaResult:
-        if deadline is None and self.config.timeout is not None:
-            deadline = time.monotonic() + self.config.timeout
+        # A caller-passed budget is *shared*: exceeding it must propagate as
+        # BudgetExceeded so the owner (e.g. the string pipeline) sees one
+        # consistent verdict.  An owned budget (built here from the legacy
+        # ``deadline`` or ``config.timeout``) keeps the historical contract:
+        # running out of time is an UNKNOWN result, not an exception.
+        owned = budget is None
+        if owned:
+            if deadline is not None:
+                budget = Budget(deadline=deadline)
+            else:
+                budget = Budget(self.config.timeout)
         before = self._stats_snapshot()
 
         def result(
@@ -723,6 +732,23 @@ class _Context:
                 core_labels=core_labels,
             )
 
+        # The budget governs the whole check — including the presolve in
+        # ``_flush``, whose substitution loop checkpoints against the
+        # *ambient* budget, hence the ``activate()``.  An owned budget maps
+        # exhaustion anywhere in the body to an UNKNOWN result.
+        self._budget = budget
+        self._conflict_participants = set()
+        try:
+            with budget.activate():
+                return self._check_budgeted(budget, assumptions, result)
+        except BudgetExceeded as limit:
+            if not owned:
+                raise
+            return result(LiaStatus.UNKNOWN, reason=str(limit.reason))
+        finally:
+            self._budget = None
+
+    def _check_budgeted(self, budget: Budget, assumptions, result) -> LiaResult:
         self._flush()
         false_vars: Set[str] = set()
         for level in self.levels:
@@ -742,18 +768,14 @@ class _Context:
         if false_label is not None:
             return result(LiaStatus.UNSAT, core_labels=(false_label,))
 
-        self._deadline = deadline
-        self._conflict_participants = set()
         try:
             verdict, _boolean_model = self.sat.solve(
-                deadline=deadline,
+                budget=budget,
                 max_conflicts=self.config.max_conflicts,
                 assumptions=assumption_lits,
             )
         except ResourceLimit as error:
             return result(LiaStatus.UNKNOWN, reason=str(error))
-        finally:
-            self._deadline = None
 
         if verdict == "unsat":
             if self._gave_up:
@@ -830,29 +852,34 @@ class LiaSolver:
         formula: Optional[Formula] = None,
         deadline: Optional[float] = None,
         assumptions: Sequence[Tuple[object, Formula]] = (),
+        budget: Optional[Budget] = None,
     ) -> LiaResult:
         """Decide satisfiability of the assertion stack (plus ``formula``).
 
         ``deadline`` (an absolute :func:`time.monotonic` value) takes
-        precedence over ``config.timeout``.  ``assumptions`` is a sequence
-        of ``(label, formula)`` pairs that hold for *this check only*: on an
-        ``UNSAT`` answer, :attr:`LiaResult.core_labels` names exactly the
-        assumptions the refutation needed (final-conflict analysis over
-        their assumption literals — no deletion-test re-solving).
+        precedence over ``config.timeout``; a caller-passed ``budget``
+        supersedes both, and exceeding it raises
+        :class:`repro.budget.BudgetExceeded` instead of answering
+        ``UNKNOWN`` (the budget's owner reports the verdict).
+        ``assumptions`` is a sequence of ``(label, formula)`` pairs that
+        hold for *this check only*: on an ``UNSAT`` answer,
+        :attr:`LiaResult.core_labels` names exactly the assumptions the
+        refutation needed (final-conflict analysis over their assumption
+        literals — no deletion-test re-solving).
         """
         if formula is not None:
             if self._ctx is None and not assumptions:
                 context = _Context(self.config)
                 context.add_assertion(formula)
-                return context.check(deadline)
+                return context.check(deadline, budget=budget)
             context = self._context()
             context.push()
             context.add_assertion(formula)
             try:
-                return context.check(deadline, assumptions=assumptions)
+                return context.check(deadline, assumptions=assumptions, budget=budget)
             finally:
                 context.pop()
-        return self._context().check(deadline, assumptions=assumptions)
+        return self._context().check(deadline, assumptions=assumptions, budget=budget)
 
 
 def is_satisfiable(formula: Formula, config: Optional[LiaConfig] = None) -> bool:

@@ -2,11 +2,18 @@
 
 Streams every script into a fresh :class:`repro.Session` and prints one
 line per answering command (``check-sat`` verdicts, ``get-model`` /
-``get-unsat-core`` responses, ``echo`` messages).  With several input files
-each answer line is prefixed by the file name.  ``-`` reads from stdin.
+``get-unsat-core`` responses, ``echo`` messages).  An undecided
+``check-sat`` prints ``unknown`` followed by a ``; unknown: <reason>``
+comment naming the stage and budget that gave out.  With several input
+files each answer line is prefixed by the file name.  ``-`` reads from
+stdin.
 
-Exit status: 0 when every script ran to completion, 1 on a parse or
-execution error (the error is printed on stderr).
+Exit status: 0 when every script ran to completion — a clean ``unknown``
+(timeout, step limit, fragment) is a completed run, not a failure; 1 on a
+parse/execution error or when any check hit an internal engine error
+(reported as unknown in the output, counted on stderr); 130 on
+``KeyboardInterrupt``, after finishing cleanly with the results produced
+so far.
 """
 
 from __future__ import annotations
@@ -38,37 +45,47 @@ def main(argv: List[str] = None) -> int:
 
     config = SolverConfig(timeout=args.timeout)
     failures = 0
+    internal_errors = 0
     prefix_names = len(args.files) > 1
-    for path in args.files:
-        try:
-            if path == "-":
-                text = sys.stdin.read()
-            else:
-                with open(path) as handle:
-                    text = handle.read()
-        except OSError as error:
-            print(f"error: {error}", file=sys.stderr)
-            failures += 1
-            continue
+    try:
+        for path in args.files:
+            try:
+                if path == "-":
+                    text = sys.stdin.read()
+                else:
+                    with open(path) as handle:
+                        text = handle.read()
+            except OSError as error:
+                print(f"error: {error}", file=sys.stderr)
+                failures += 1
+                continue
 
-        def emit(line: str, path: str = path) -> None:
-            if prefix_names:
-                print(f"{path}: {line}")
-            else:
-                print(line)
+            def emit(line: str, path: str = path) -> None:
+                if prefix_names:
+                    print(f"{path}: {line}")
+                else:
+                    print(line)
 
-        runner = ScriptRunner(config=config, out=emit)
-        try:
-            runner.run(text, name=path)
-        except SmtLibError as error:
-            print(f"error: {path}: {error}", file=sys.stderr)
-            failures += 1
-            continue
-        if args.stats and runner.session is not None:
-            stats = runner.session.statistics()
-            rendered = ", ".join(f"{key}={value}" for key, value in sorted(stats.items()))
-            print(f"; stats: {rendered}", file=sys.stderr)
-    return 1 if failures else 0
+            runner = ScriptRunner(config=config, out=emit)
+            try:
+                runner.run(text, name=path)
+            except SmtLibError as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                failures += 1
+                continue
+            internal_errors += runner.internal_errors
+            if args.stats and runner.session is not None:
+                stats = runner.session.statistics()
+                rendered = ", ".join(f"{key}={value}" for key, value in sorted(stats.items()))
+                print(f"; stats: {rendered}", file=sys.stderr)
+    except KeyboardInterrupt:
+        # Everything answered so far is already on stdout; report the
+        # interruption on stderr and use the conventional 128+SIGINT code.
+        print("; interrupted", file=sys.stderr)
+        return 130
+    if internal_errors:
+        print(f"error: {internal_errors} check(s) hit internal errors", file=sys.stderr)
+    return 1 if failures or internal_errors else 0
 
 
 if __name__ == "__main__":

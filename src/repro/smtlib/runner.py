@@ -11,6 +11,13 @@ assertions; an assert whose term splits into several AST atoms registers
 them as ``n!0 n!1 …`` internally, and ``get-unsat-core`` folds them back to
 the user-visible label.  Per the SMT-LIB convention only *named* assertions
 appear in printed cores.
+
+A ``check-sat`` that cannot be decided answers ``unknown`` followed by an
+SMT-LIB comment naming the structured reason (``; unknown: timeout@lia.sat
+after 131072 steps (1.00s)``), so batch drivers can tell a clean budget
+exhaustion from an internal error without parsing solver-specific output;
+:attr:`ScriptRunner.internal_errors` counts the latter for the CLI's exit
+status.
 """
 
 from __future__ import annotations
@@ -49,6 +56,11 @@ class ScriptRunner:
         self.session: Optional["Session"] = None
         #: every check-sat answer of the last run, in order
         self.verdicts: List[str] = []
+        #: per check-sat: the displayable unknown reason ("" when decided)
+        self.reasons: List[str] = []
+        #: unexpected engine exceptions converted into unknown verdicts
+        #: (cumulative across runs; the CLI exits non-zero when > 0)
+        self.internal_errors: int = 0
 
     # ------------------------------------------------------------------
     def run(self, text: str, name: str = "") -> List[str]:
@@ -70,6 +82,7 @@ class ScriptRunner:
         session = Session(config=self.config, alphabet=script.alphabet, name=name)
         self.session = session
         self.verdicts = []
+        self.reasons = []
         outputs: List[str] = []
         #: internal assertion name -> user-visible label (named asserts only)
         labels: Dict[str, str] = {}
@@ -109,7 +122,12 @@ class ScriptRunner:
                 if result.status is Status.TIMEOUT:
                     verdict = "unknown"
                 self.verdicts.append(verdict)
+                reason = str(result.reason) if verdict == "unknown" else ""
+                self.reasons.append(reason)
+                self.internal_errors += result.stats.get("internal_errors", 0)
                 emit(verdict)
+                if reason:
+                    emit(f"; unknown: {reason}")
             elif isinstance(command, GetModel):
                 model = session.model()
                 if model is None or not self.verdicts or self.verdicts[-1] != "sat":

@@ -1,6 +1,7 @@
 """String solvers: the incremental session, the position-procedure solver
 and the comparison baselines."""
 
+from ..budget import Budget, BudgetExceeded, UnknownKind, UnknownReason
 from .config import SolverConfig
 from .result import SolveResult, Status, StringModel
 from .solver import IncrementalPipeline, PositionSolver
@@ -10,6 +11,10 @@ from .enumerative import EnumerativeSolver
 from .bruteforce import brute_force_check
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "UnknownKind",
+    "UnknownReason",
     "SolverConfig",
     "SolveResult",
     "Status",

@@ -18,6 +18,11 @@ class SolverConfig:
 
     #: wall-clock budget per ``check`` call (seconds); ``None`` = unlimited
     timeout: Optional[float] = 60.0
+    #: cooperative step budget per ``check`` call: caps the total number of
+    #: engine checkpoints (subset-construction expansions, product pairs,
+    #: noodles, SAT iterations, ...) independently of the clock — a
+    #: deterministic, machine-independent bound.  ``None`` = unlimited
+    max_steps: Optional[int] = None
     #: maximum number of monadic-decomposition branches explored
     max_branches: int = 128
     #: maximum number of noodles per equation split

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, Iterator, Optional, Union
+
+from ..budget import Budget, UnknownReason
 
 
 class Status(Enum):
@@ -80,7 +81,11 @@ class SolveResult:
     status: Status
     model: Optional[StringModel] = None
     elapsed: float = 0.0
-    reason: str = ""
+    #: why the verdict is not sat/unsat: a typed :class:`UnknownReason`
+    #: for unknown/timeout results from the main pipeline ("" otherwise).
+    #: Legacy frontends may still fill in a free-text string; ``str(reason)``
+    #: is always the displayable form.
+    reason: Union[str, UnknownReason] = ""
     #: number of decomposition branches explored
     branches_explored: int = 0
     #: number of LIA queries issued
@@ -115,21 +120,7 @@ class SolveResult:
         return self.status in (Status.SAT, Status.UNSAT)
 
 
-class Stopwatch:
-    """Tiny helper measuring elapsed wall-clock time and deadlines."""
-
-    def __init__(self, timeout: Optional[float] = None) -> None:
-        self.start = time.monotonic()
-        self.timeout = timeout
-
-    @property
-    def deadline(self) -> Optional[float]:
-        if self.timeout is None:
-            return None
-        return self.start + self.timeout
-
-    def elapsed(self) -> float:
-        return time.monotonic() - self.start
-
-    def expired(self) -> bool:
-        return self.timeout is not None and time.monotonic() > self.start + self.timeout
+#: Backward-compatible alias: the old elapsed/deadline helper grew into the
+#: repo-wide :class:`repro.budget.Budget`; ``Stopwatch(timeout)`` still
+#: works and now additionally supports cooperative checkpoints.
+Stopwatch = Budget

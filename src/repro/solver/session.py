@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..budget import Budget
 from ..strings.ast import Atom, Problem
 from .config import SolverConfig
 from .result import SolveResult, Status, StringModel
@@ -148,14 +149,31 @@ class Session:
             atoms=[atom for _, atom in entries], alphabet=self.alphabet, name=self.name
         )
 
-    def check(self, assumptions: Iterable[Assumption] = ()) -> SolveResult:
+    def check(
+        self,
+        assumptions: Iterable[Assumption] = (),
+        *,
+        timeout: Optional[float] = None,
+        budget: Optional[Budget] = None,
+    ) -> SolveResult:
         """Decide the conjunction of the active assertions (+ assumptions).
 
         Assumptions are one-check assertions: they participate in the
         verdict, the model and the unsat core of *this* call only.
+
+        ``timeout`` overrides ``config.timeout`` for this call; ``budget``
+        passes a caller-built :class:`~repro.budget.Budget` instead (for
+        shared deadlines, step limits or fault-injection hooks) and wins
+        over ``timeout``.  A check that runs out of budget answers
+        ``timeout``/``unknown`` with a structured
+        :class:`~repro.budget.UnknownReason`; the session itself stays
+        usable — caches are transactional, so a later check (e.g. with a
+        larger budget) picks up exactly where a fresh solver would.
         """
+        if budget is None and timeout is not None:
+            budget = Budget(timeout, max_steps=self.config.max_steps)
         entries = list(self.assertions()) + self._named_assumptions(assumptions)
-        result = self._pipeline.check(self._problem_for(entries))
+        result = self._pipeline.check(self._problem_for(entries), budget=budget)
         for key, value in result.stats.items():
             self._cumulative[key] = self._cumulative.get(key, 0) + value
         self._last = result

@@ -96,12 +96,13 @@ from ..lia import Formula as LiaFormula
 from ..lia import Le as LiaLe
 from ..lia import LinExpr
 from ..lia.simplify import eliminate_equalities
+from ..budget import Budget, BudgetExceeded, UnknownKind, UnknownReason
 from ..strings.ast import Problem, RegexMembership, length_variable
 from ..strings.normal_form import NormalForm, NormalizationCache, normalize
 from ..strings.reductions import ReductionError, needs_reduction, reduce_problem
 from ..strings.semantics import eval_problem
 from .config import SolverConfig
-from .result import SolveResult, Status, Stopwatch, StringModel
+from .result import SolveResult, Status, StringModel
 
 Encoding = Union[SingleEncoding, SystemEncoding]
 
@@ -181,7 +182,7 @@ class _BranchSolver:
 class _BranchOutcome:
     status: Status
     model: Optional[StringModel] = None
-    reason: str = ""
+    reason: Union[str, UnknownReason] = ""
     lia_queries: int = 0
     exact: bool = True
     stats: Dict[str, int] = field(default_factory=dict)
@@ -245,7 +246,7 @@ class IncrementalPipeline:
         }
 
     # ------------------------------------------------------------------
-    def check(self, problem: Problem) -> SolveResult:
+    def check(self, problem: Problem, budget: Optional[Budget] = None) -> SolveResult:
         """Decide satisfiability of ``problem`` (reusing every warm cache).
 
         Problems containing the extended string functions (``str.substr``,
@@ -255,19 +256,74 @@ class IncrementalPipeline:
         merged (sat: first satisfiable case, with the reduction's fresh
         variables stripped from the model; unsat: all cases refuted, cores
         mapped back to the input atoms through the case provenance).
+
+        ``budget`` overrides the config-derived per-check budget (a caller
+        racing several checks, or retrying after a timeout with more room).
+        The budget is *activated* for the duration of the check: every
+        engine layer's cooperative checkpoints charge against it, and
+        exceeding it unwinds here into a structured ``timeout``/``unknown``
+        verdict whose :class:`UnknownReason` names the stage that hit the
+        limit.  The check never corrupts the pipeline: caches only commit
+        completed values, and a pinned branch LIA solver that was
+        mid-mutation when the check unwound is dropped (rebuilt on demand).
+        Unexpected engine exceptions likewise become
+        ``unknown(internal_error)`` verdicts — counted in ``counters`` and
+        ``stats``, never silently discarded; only ``KeyboardInterrupt``
+        propagates (with the same no-corruption guarantee).
         """
         self.counters["checks"] += 1
-        watch = Stopwatch(self.config.timeout)
-        if needs_reduction(problem):
-            return self._check_extended(problem, watch)
-        return self._check_core(problem, watch)
+        watch = budget if budget is not None else Budget(
+            self.config.timeout, max_steps=self.config.max_steps
+        )
+        try:
+            with watch.activate():
+                if needs_reduction(problem):
+                    result = self._check_extended(problem, watch)
+                else:
+                    result = self._check_core(problem, watch)
+        except BudgetExceeded as limit:
+            status = (
+                Status.TIMEOUT
+                if limit.reason.kind is UnknownKind.TIMEOUT
+                else Status.UNKNOWN
+            )
+            result = SolveResult(status, elapsed=watch.elapsed(), reason=limit.reason)
+        except Exception as failure:
+            self.counters["internal_errors"] = (
+                self.counters.get("internal_errors", 0) + 1
+            )
+            reason = UnknownReason(
+                UnknownKind.INTERNAL_ERROR,
+                stage=watch.current_stage,
+                detail=f"{type(failure).__name__}: {failure}",
+                steps=watch.steps,
+                elapsed=watch.elapsed(),
+            )
+            result = SolveResult(
+                Status.UNKNOWN,
+                elapsed=watch.elapsed(),
+                reason=reason,
+                stats={"internal_errors": 1},
+            )
+        for key, value in watch.stats_snapshot().items():
+            result.stats[key] = result.stats.get(key, 0) + value
+        return result
 
-    def _check_extended(self, problem: Problem, watch: Stopwatch) -> SolveResult:
+    def _check_extended(self, problem: Problem, watch: Budget) -> SolveResult:
         """Case-expand the extended atoms, decide each case, merge verdicts."""
         try:
-            cases = reduce_problem(problem, max_cases=self.config.max_reduction_cases)
+            with watch.stage("reduce"):
+                cases = reduce_problem(
+                    problem, max_cases=self.config.max_reduction_cases
+                )
         except ReductionError as error:
-            return SolveResult(Status.UNKNOWN, elapsed=watch.elapsed(), reason=str(error))
+            return SolveResult(
+                Status.UNKNOWN,
+                elapsed=watch.elapsed(),
+                reason=UnknownReason(
+                    UnknownKind.INCOMPLETE, stage="reduce", detail=str(error)
+                ),
+            )
         self.counters["reduction_cases"] = (
             self.counters.get("reduction_cases", 0) + len(cases)
         )
@@ -276,13 +332,12 @@ class IncrementalPipeline:
         lia_queries = 0
         stats: Dict[str, int] = {}
         saw_unknown = False
+        unknown_reason: Optional[UnknownReason] = None
         participants_known = True
         core: Set[int] = set()
         widened: Set[int] = set()
         for case in cases:
-            if watch.expired():
-                return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason="timeout",
-                                   branches_explored=branches, lia_queries=lia_queries, stats=stats)
+            watch.check_now("reduce.case")
             result = self._check_core(
                 case.problem, watch, branch_budget=self.config.reduction_max_branches
             )
@@ -306,6 +361,11 @@ class IncrementalPipeline:
                     # atoms by construction; a failure here means the
                     # reduction (not the encoder) is wrong — stay sound.
                     saw_unknown = True
+                    unknown_reason = UnknownReason(
+                        UnknownKind.INTERNAL_ERROR,
+                        stage="reduce.verify",
+                        detail="reduction case model failed verification",
+                    )
                     continue
                 return SolveResult(Status.SAT, model=model, elapsed=watch.elapsed(),
                                    branches_explored=branches, lia_queries=lia_queries, stats=stats)
@@ -314,6 +374,8 @@ class IncrementalPipeline:
                                    branches_explored=branches, lia_queries=lia_queries, stats=stats)
             if result.status is Status.UNKNOWN:
                 saw_unknown = True
+                if isinstance(result.reason, UnknownReason):
+                    unknown_reason = result.reason
                 continue
             # UNSAT: map the case's core through the provenance.
             if result.core_atoms is None:
@@ -326,9 +388,16 @@ class IncrementalPipeline:
                 else:
                     widened |= mapped
         if saw_unknown:
-            return SolveResult(Status.UNKNOWN, elapsed=watch.elapsed(),
-                               reason="some reduction case could not be decided exactly",
-                               branches_explored=branches, lia_queries=lia_queries, stats=stats)
+            return SolveResult(
+                Status.UNKNOWN,
+                elapsed=watch.elapsed(),
+                reason=unknown_reason
+                or UnknownReason(
+                    UnknownKind.INCOMPLETE,
+                    stage="reduce",
+                    detail="some reduction case could not be decided exactly",
+                ),
+                branches_explored=branches, lia_queries=lia_queries, stats=stats)
         return SolveResult(
             Status.UNSAT,
             elapsed=watch.elapsed(),
@@ -342,22 +411,27 @@ class IncrementalPipeline:
         )
 
     def _check_core(
-        self, problem: Problem, watch: Stopwatch, branch_budget: Optional[int] = None
+        self, problem: Problem, watch: Budget, branch_budget: Optional[int] = None
     ) -> SolveResult:
         """The conjunctive-core pipeline (no extended atoms)."""
         atoms_key = (problem.alphabet,) + tuple(_atom_key(atom) for atom in problem.atoms)
         normal_form = self._normal_forms.lookup(atoms_key)
         if normal_form is None:
             self.counters["normal_form_misses"] += 1
-            normal_form = normalize(problem, cache=self.normalization_cache)
+            with watch.stage("normalize"):
+                normal_form = normalize(problem, cache=self.normalization_cache)
             self._normal_forms.store(atoms_key, normal_form)
         else:
             self.counters["normal_form_hits"] += 1
 
-        branches, branch_fp_base, all_exact = self._decompose(normal_form, branch_budget)
+        with watch.stage("decompose"):
+            branches, branch_fp_base, all_exact = self._decompose(
+                normal_form, branch_budget
+            )
 
         lia_queries = 0
         saw_unknown = False
+        unknown_reason: Optional[UnknownReason] = None
         stats: Dict[str, int] = {}
         participant_vars: Set[str] = set()
         participant_atoms: Set[int] = set()
@@ -368,12 +442,11 @@ class IncrementalPipeline:
                 stats[key] = stats.get(key, 0) + value
 
         for index, branch in enumerate(branches):
-            if watch.expired():
-                return SolveResult(Status.TIMEOUT, elapsed=watch.elapsed(), reason="timeout",
-                                   branches_explored=index, lia_queries=lia_queries, stats=stats)
-            outcome = self._solve_branch(
-                problem, normal_form, branch, index, (branch_fp_base, index), watch
-            )
+            watch.check_now("solve.branch")
+            with watch.stage("solve"):
+                outcome = self._solve_branch(
+                    problem, normal_form, branch, index, (branch_fp_base, index), watch
+                )
             lia_queries += outcome.lia_queries
             merge_stats(outcome.stats)
             if outcome.status is Status.SAT:
@@ -390,6 +463,8 @@ class IncrementalPipeline:
                                    branches_explored=index + 1, lia_queries=lia_queries, stats=stats)
             if outcome.status is Status.UNKNOWN:
                 saw_unknown = True
+                if isinstance(outcome.reason, UnknownReason):
+                    unknown_reason = outcome.reason
             if not outcome.exact:
                 all_exact = False
             if outcome.status is Status.UNSAT:
@@ -403,7 +478,12 @@ class IncrementalPipeline:
             return SolveResult(
                 Status.UNKNOWN,
                 elapsed=watch.elapsed(),
-                reason="some branch could not be decided exactly",
+                reason=unknown_reason
+                or UnknownReason(
+                    UnknownKind.INCOMPLETE,
+                    stage="decompose",
+                    detail="decomposition incomplete (branch/noodle budget or fragment)",
+                ),
                 branches_explored=len(branches),
                 lia_queries=lia_queries,
                 stats=stats,
@@ -982,11 +1062,17 @@ class IncrementalPipeline:
         branch: Branch,
         index: int,
         fingerprint: Tuple,
-        watch: Stopwatch,
+        watch: Budget,
     ) -> _BranchOutcome:
         regular, contains, automata, error = self._expand_predicates(normal_form, branch)
         if regular is None:
-            return _BranchOutcome(Status.UNKNOWN, reason=error, exact=False)
+            return _BranchOutcome(
+                Status.UNKNOWN,
+                reason=UnknownReason(
+                    UnknownKind.FRAGMENT, stage="expand", detail=error
+                ),
+                exact=False,
+            )
 
         remaining = [name for name in automata if name not in branch.substitution]
 
@@ -1010,11 +1096,29 @@ class IncrementalPipeline:
                 return shortcut
 
         try:
-            components = self._build_components(
-                regular, contains, normal_form, branch, automata, index
+            with watch.stage("encode"):
+                components = self._build_components(
+                    regular, contains, normal_form, branch, automata, index
+                )
+        except BudgetExceeded:
+            raise
+        except Exception as failure:
+            # An encoder bug must not silently discard the branch: answer
+            # unknown (sound), name the stage, and count the error so it
+            # shows up in stats and can gate CI.
+            self.counters["internal_errors"] = (
+                self.counters.get("internal_errors", 0) + 1
             )
-        except Exception as failure:  # pragma: no cover - defensive
-            return _BranchOutcome(Status.UNKNOWN, reason=f"encoding failed: {failure}", exact=False)
+            return _BranchOutcome(
+                Status.UNKNOWN,
+                reason=UnknownReason(
+                    UnknownKind.INTERNAL_ERROR,
+                    stage="encode",
+                    detail=f"{type(failure).__name__}: {failure}",
+                ),
+                exact=False,
+                stats={"internal_errors": 1},
+            )
 
         # Assemble the branch conjunction as keyed parts (see the module
         # docstring): integer conjuncts carry their source-atom index,
@@ -1068,98 +1172,130 @@ class IncrementalPipeline:
                 stats[key] = stats.get(key, 0) + value
 
         incremental = self.config.incremental_lia
-        if incremental:
-            solver = self._branch_solver(fingerprint, parts)
-        for _round in range(self.config.max_instantiation_rounds):
-            if watch.expired():
-                return _BranchOutcome(Status.TIMEOUT, reason="timeout", lia_queries=queries,
-                                      exact=exact, stats=stats)
-            queries += 1
+        try:
             if incremental:
-                result = solver.check(deadline=watch.deadline, assumptions=assumed)
-            else:
-                solver = LiaSolver(self.config.lia)
-                result = solver.check(
-                    conj([formula for _, formula in parts] + lemmas),
-                    deadline=watch.deadline,
-                    assumptions=assumed,
-                )
-            merge_stats(result.stats)
-            if result.status is LiaStatus.UNSAT:
-                # Assumed integer atoms come exactly from the failed-
-                # assumption labels; asserted ones (and everything else)
-                # map through the conflict participants as before.
-                vars_, atoms_ = self._map_participants(
-                    result.conflict_vars,
-                    int_parts,
-                    links,
-                    components,
-                    approximations,
-                    branch,
-                )
-                if assume_ints:
-                    atoms_ = atoms_ | {
-                        label for label in result.core_labels if isinstance(label, int)
-                    }
-                return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact, stats=stats,
-                                      participant_vars=vars_, participant_atoms=atoms_)
-            if result.status is LiaStatus.UNKNOWN:
-                status = Status.TIMEOUT if watch.expired() else Status.UNKNOWN
-                return _BranchOutcome(status, reason=result.reason, lia_queries=queries,
-                                      exact=exact, stats=stats)
-
-            strings: Dict[str, str] = {}
-            reconstruction_failed = False
-            for component in components:
-                names = sorted(component.variables)
-                extracted = extract_assignment(component.encoding.parikh, result.model, names)
-                if extracted is None:
-                    reconstruction_failed = True
-                    break
-                strings.update(extracted)
-            if reconstruction_failed:
-                return _BranchOutcome(Status.UNKNOWN, reason="witness reconstruction failed",
-                                      lia_queries=queries, exact=False, stats=stats)
-            for name in remaining:
-                if name not in strings:
-                    strings[name] = shortest_word(automata[name]) or ""
-
-            # MBQI refinement for ¬contains: evaluate on the candidate words.
-            refinement_added = False
-            for component in components:
-                for predicate, encoder in component.encoders:
-                    predicate_strings = {name: strings.get(name, "") for name in predicate.string_variables()}
-                    offset = find_failing_offset(predicate, predicate_strings)
-                    if offset is None:
-                        continue
-                    if encoder is None:
-                        return _BranchOutcome(Status.UNKNOWN, reason="non-flat ¬contains counterexample",
-                                              lia_queries=queries, exact=False, stats=stats)
-                    if component.master_counts is None:
-                        component.master_counts = base_transition_counts(
-                            component.encoding.parikh, component.encoding.info
-                        )
-                    lemma = encoder.instantiation_lemma(
-                        offset, component.master_counts, component.encoding.length_of
+                solver = self._branch_solver(fingerprint, parts)
+            for _round in range(self.config.max_instantiation_rounds):
+                watch.check_now("mbqi.round")
+                queries += 1
+                if incremental:
+                    result = solver.check(assumptions=assumed, budget=watch)
+                else:
+                    solver = LiaSolver(self.config.lia)
+                    result = solver.check(
+                        conj([formula for _, formula in parts] + lemmas),
+                        assumptions=assumed,
+                        budget=watch,
                     )
-                    lemmas.append(lemma)
-                    if incremental:
-                        solver.add_assertion(lemma)
-                    refinement_added = True
-                    break
+                merge_stats(result.stats)
+                if result.status is LiaStatus.UNSAT:
+                    # Assumed integer atoms come exactly from the failed-
+                    # assumption labels; asserted ones (and everything else)
+                    # map through the conflict participants as before.
+                    vars_, atoms_ = self._map_participants(
+                        result.conflict_vars,
+                        int_parts,
+                        links,
+                        components,
+                        approximations,
+                        branch,
+                    )
+                    if assume_ints:
+                        atoms_ = atoms_ | {
+                            label for label in result.core_labels if isinstance(label, int)
+                        }
+                    return _BranchOutcome(Status.UNSAT, lia_queries=queries, exact=exact, stats=stats,
+                                          participant_vars=vars_, participant_atoms=atoms_)
+                if result.status is LiaStatus.UNKNOWN:
+                    watch.check_now("lia")
+                    return _BranchOutcome(
+                        Status.UNKNOWN,
+                        reason=UnknownReason(
+                            UnknownKind.INCOMPLETE, stage="lia", detail=str(result.reason)
+                        ),
+                        lia_queries=queries, exact=exact, stats=stats)
+
+                strings: Dict[str, str] = {}
+                reconstruction_failed = False
+                for component in components:
+                    names = sorted(component.variables)
+                    extracted = extract_assignment(component.encoding.parikh, result.model, names)
+                    if extracted is None:
+                        reconstruction_failed = True
+                        break
+                    strings.update(extracted)
+                if reconstruction_failed:
+                    return _BranchOutcome(
+                        Status.UNKNOWN,
+                        reason=UnknownReason(
+                            UnknownKind.INCOMPLETE, stage="witness",
+                            detail="witness reconstruction failed",
+                        ),
+                        lia_queries=queries, exact=False, stats=stats)
+                for name in remaining:
+                    if name not in strings:
+                        strings[name] = shortest_word(automata[name]) or ""
+
+                # MBQI refinement for ¬contains: evaluate on the candidate words.
+                refinement_added = False
+                for component in components:
+                    for predicate, encoder in component.encoders:
+                        predicate_strings = {name: strings.get(name, "") for name in predicate.string_variables()}
+                        offset = find_failing_offset(predicate, predicate_strings)
+                        if offset is None:
+                            continue
+                        if encoder is None:
+                            return _BranchOutcome(
+                                Status.UNKNOWN,
+                                reason=UnknownReason(
+                                    UnknownKind.FRAGMENT, stage="mbqi",
+                                    detail="non-flat ¬contains counterexample",
+                                ),
+                                lia_queries=queries, exact=False, stats=stats)
+                        if component.master_counts is None:
+                            component.master_counts = base_transition_counts(
+                                component.encoding.parikh, component.encoding.info
+                            )
+                        lemma = encoder.instantiation_lemma(
+                            offset, component.master_counts, component.encoding.length_of
+                        )
+                        lemmas.append(lemma)
+                        if incremental:
+                            solver.add_assertion(lemma)
+                        refinement_added = True
+                        break
+                    if refinement_added:
+                        break
                 if refinement_added:
-                    break
-            if refinement_added:
-                continue
+                    continue
 
-            model = self._build_model(problem, normal_form, branch, strings, result.model)
-            if self.config.verify_models and not eval_problem(problem, model.strings, model.integers):
-                return _BranchOutcome(Status.UNKNOWN, reason="model verification failed",
-                                      lia_queries=queries, exact=False, stats=stats)
-            return _BranchOutcome(Status.SAT, model=model, lia_queries=queries, exact=exact, stats=stats)
+                model = self._build_model(problem, normal_form, branch, strings, result.model)
+                if self.config.verify_models and not eval_problem(problem, model.strings, model.integers):
+                    return _BranchOutcome(
+                        Status.UNKNOWN,
+                        reason=UnknownReason(
+                            UnknownKind.INTERNAL_ERROR, stage="verify",
+                            detail="model verification failed",
+                        ),
+                        lia_queries=queries, exact=False, stats=stats)
+                return _BranchOutcome(Status.SAT, model=model, lia_queries=queries, exact=exact, stats=stats)
+        except BaseException:
+            # The unwind (budget exhaustion, fault injection, Ctrl-C, an
+            # engine bug) may have interrupted the pinned stack mid-mutation
+            # (a replay push, an MBQI lemma assert, an in-flight CDCL
+            # search).  Its level bookkeeping can no longer be trusted, so
+            # drop the pin — the next check rebuilds it from the parts.
+            if incremental:
+                self._branch_solvers.pop(fingerprint, None)
+            raise
 
-        return _BranchOutcome(Status.UNKNOWN, reason="instantiation budget exhausted",
-                              lia_queries=queries, exact=False, stats=stats)
+        return _BranchOutcome(
+            Status.UNKNOWN,
+            reason=UnknownReason(
+                UnknownKind.INCOMPLETE, stage="mbqi",
+                detail="instantiation budget exhausted",
+            ),
+            lia_queries=queries, exact=False, stats=stats)
 
     # ------------------------------------------------------------------
     # Refutation participants

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..automata import compile_regex, complement, intersection, remove_epsilon
 from ..automata.nfa import Nfa
+from ..budget import checkpoint
 from ..core.predicates import (
     Disequality,
     NotContains,
@@ -379,5 +380,8 @@ def normalize(problem: Problem, cache: Optional[NormalizationCache] = None) -> N
     """
     normalizer = _Normalizer(problem, cache=cache)
     for atom in problem.atoms:
+        # Per-atom checkpoint; the heavy per-atom work (complementation,
+        # membership intersections) checkpoints inside the automata layer.
+        checkpoint("normalize")
         normalizer.visit(atom)
     return normalizer.result()

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Set, Tuple
 
 from ..automata.regex import escape as regex_escape
+from ..budget import checkpoint
 from ..lia import FALSE, BoolConst, conj, disj, eq, ge, gt, implies, le, lt, ne, neg
 from .ast import (
     Atom,
@@ -373,6 +374,7 @@ def reduce_problem(problem: Problem, max_cases: int = 64) -> List[ReducedCase]:
             expanded: List[Tuple[List[Atom], List[int]]] = []
             for atoms, provenance in cases:
                 for alternative in alternatives:
+                    checkpoint("reduce.cases")
                     expanded.append(
                         (
                             atoms + alternative,

@@ -1,0 +1,5 @@
+"""Test support: deterministic fault injection for the budget layer."""
+
+from .faults import FaultInjector, FaultSpec, InjectedFault, seeded_faults
+
+__all__ = ["FaultInjector", "FaultSpec", "InjectedFault", "seeded_faults"]

@@ -1,0 +1,186 @@
+"""Chaos suite: injected faults never corrupt verdicts or sessions.
+
+Faults ride the budget hook (:mod:`repro.testing.faults`): at deterministic
+``(stage, count)`` coordinates a check raises an unexpected exception,
+simulates budget exhaustion, or delivers a ``KeyboardInterrupt`` — in the
+middle of whatever engine stage happens to be running.  The suite asserts
+the two invariants the robustness layer promises:
+
+1. **never a wrong verdict** — a faulted check answers the true status or
+   a lawful ``unknown``/``timeout``, never the opposite verdict;
+2. **never a corrupted session** — after the fault, the *same* session
+   re-checked without faults answers exactly what a fresh solver does.
+
+Schedules are seeded (same seed → same chaos), so a failure here is a
+plain reproducible test failure, not a flake.
+"""
+
+import pytest
+
+from repro import (
+    Budget,
+    LengthConstraint,
+    RegexMembership,
+    Session,
+    SolverConfig,
+    Status,
+    UnknownKind,
+    UnknownReason,
+    WordEquation,
+    lit,
+    str_len,
+    term,
+)
+from repro.lia import ge, le
+from repro.testing import FaultInjector, FaultSpec, InjectedFault, seeded_faults
+
+
+def _config():
+    return SolverConfig(timeout=30.0)
+
+
+#: (atoms, expected status) — small instances with known ground truth that
+#: still exercise normalization, decomposition, noodling, encoding and LIA
+_GROUND_TRUTH = [
+    (
+        [
+            RegexMembership("x", "(ab)*", positive=True),
+            LengthConstraint(ge(str_len("x"), 4)),
+        ],
+        Status.SAT,
+    ),
+    (
+        [
+            RegexMembership("x", "(ab)*", positive=True),
+            RegexMembership("x", "(a|b)*aa(a|b)*", positive=True),
+        ],
+        Status.UNSAT,
+    ),
+    (
+        [
+            WordEquation(term("x", "y"), term("y", "x")),
+            RegexMembership("x", "a(a)*", positive=True),
+            RegexMembership("y", "b(b)*", positive=True),
+        ],
+        Status.UNSAT,
+    ),
+    (
+        [
+            WordEquation(term("x", lit("b")), term(lit("a"), "y")),
+            LengthConstraint(ge(str_len("x"), 2)),
+            LengthConstraint(le(str_len("x"), 4)),
+        ],
+        Status.SAT,
+    ),
+]
+
+
+def _fresh_verdict(atoms):
+    session = Session(config=_config(), alphabet=("a", "b"))
+    for atom in atoms:
+        session.add(atom)
+    return session.check().status
+
+
+@pytest.mark.parametrize("seed", range(24))
+def test_chaos_never_wrong_verdict_never_corrupted_session(seed):
+    atoms, expected = _GROUND_TRUTH[seed % len(_GROUND_TRUTH)]
+    session = Session(config=_config(), alphabet=("a", "b"))
+    for atom in atoms:
+        session.add(atom)
+
+    injector = seeded_faults(seed, count=2)
+    try:
+        faulted = session.check(budget=Budget(30.0, hook=injector))
+    except KeyboardInterrupt:
+        faulted = None  # interrupts propagate; the session must survive them
+    if faulted is not None and faulted.status in (Status.SAT, Status.UNSAT):
+        # invariant 1: a decided verdict under chaos is the true verdict
+        assert faulted.status is expected, (
+            f"seed {seed}: fault produced wrong verdict "
+            f"{faulted.status} (expected {expected})"
+        )
+
+    # invariant 2: the session is not corrupted — a clean re-check matches
+    # a fresh solver exactly
+    recheck = session.check()
+    assert recheck.status is expected, (
+        f"seed {seed}: post-fault session answers {recheck.status}, "
+        f"fresh solver answers {expected} ({recheck.reason})"
+    )
+
+
+def test_injected_exception_surfaces_as_internal_error_with_stage():
+    atoms, expected = _GROUND_TRUTH[0]
+    session = Session(config=_config(), alphabet=("a", "b"))
+    for atom in atoms:
+        session.add(atom)
+    injector = FaultInjector([FaultSpec("enter:solve", at=1, action="raise")])
+    result = session.check(budget=Budget(30.0, hook=injector))
+    assert result.status is Status.UNKNOWN
+    assert isinstance(result.reason, UnknownReason)
+    assert result.reason.kind is UnknownKind.INTERNAL_ERROR
+    assert "InjectedFault" in result.reason.detail
+    assert session.check().status is expected
+
+
+def test_injected_exhaustion_reports_timeout_kind():
+    atoms, expected = _GROUND_TRUTH[1]
+    session = Session(config=_config(), alphabet=("a", "b"))
+    for atom in atoms:
+        session.add(atom)
+    injector = FaultInjector([FaultSpec("*", at=2, action="exhaust")])
+    result = session.check(budget=Budget(30.0, hook=injector))
+    assert result.status is Status.TIMEOUT
+    assert isinstance(result.reason, UnknownReason)
+    assert result.reason.kind is UnknownKind.TIMEOUT
+    assert "injected" in result.reason.detail
+    assert session.check().status is expected
+
+
+def test_fault_schedule_is_deterministic():
+    atoms, _ = _GROUND_TRUTH[0]
+
+    def run(seed):
+        session = Session(config=_config(), alphabet=("a", "b"))
+        for atom in atoms:
+            session.add(atom)
+        injector = seeded_faults(seed, count=2)
+        try:
+            result = session.check(budget=Budget(30.0, hook=injector))
+            return (result.status, str(result.reason))
+        except KeyboardInterrupt:
+            return ("interrupt", "")
+
+    assert run(7) == run(7)
+    specs = [(s.stage, s.at, s.action) for s in seeded_faults(7, count=3).specs]
+    assert specs == [(s.stage, s.at, s.action) for s in seeded_faults(7, count=3).specs]
+
+
+def test_injector_trace_records_coordinates():
+    atoms, _ = _GROUND_TRUTH[0]
+    session = Session(config=_config(), alphabet=("a", "b"))
+    for atom in atoms:
+        session.add(atom)
+    injector = FaultInjector()
+    injector.trace_enabled = True
+    result = session.check(budget=Budget(30.0, hook=injector))
+    assert result.status is Status.SAT
+    stages = {stage for stage, _ in injector.trace}
+    # the trace must span coarse pipeline stages and deep engine loops
+    assert any(stage.startswith("enter:") for stage in stages)
+    assert any(not stage.startswith("enter:") for stage in stages)
+
+
+def test_delay_fault_stretches_stage_past_real_deadline():
+    # a delay fault inside a stage makes the *next* checkpoint trip the
+    # real deadline: the result is a truthful timeout, not a hang
+    atoms, _ = _GROUND_TRUTH[0]
+    session = Session(config=_config(), alphabet=("a", "b"))
+    for atom in atoms:
+        session.add(atom)
+    injector = FaultInjector([FaultSpec("*", at=1, action="delay", delay=0.3)])
+    result = session.check(budget=Budget(0.05, hook=injector))
+    assert result.status in (Status.TIMEOUT, Status.UNKNOWN)
+    if result.status is Status.TIMEOUT:
+        assert result.reason.kind is UnknownKind.TIMEOUT

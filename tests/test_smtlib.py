@@ -432,6 +432,45 @@ def test_cli_main_reports_errors(tmp_path, capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_cli_clean_unknown_exits_zero_with_reason_comment(tmp_path, capsys):
+    # an undecidable-within-budget file: clean unknown, structured reason
+    # comment, exit status 0 (a budget exhaustion is a completed run)
+    path = tmp_path / "hard.smt2"
+    path.write_text(
+        '(set-info :alphabet "ab")\n'
+        "(declare-const x String)\n(declare-const y String)\n"
+        "(assert (= (str.++ x y x) (str.++ y x y)))\n"
+        '(assert (str.in_re x (re.+ (re.union (str.to_re "ab") (str.to_re "ba")))))\n'
+        "(assert (> (str.len x) 20))\n(check-sat)\n"
+    )
+    assert cli_main([str(path), "--timeout", "0.05"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0] == "unknown"
+    assert lines[1].startswith("; unknown: ")
+    # the comment names kind and stage, e.g. "timeout@eqsolver.noodlify"
+    assert "@" in lines[1]
+
+
+def test_runner_counts_internal_errors_for_exit_status():
+    from repro.budget import Budget
+    from repro.smtlib import ScriptRunner, parse_script
+    from repro.testing import FaultInjector, FaultSpec
+
+    runner = ScriptRunner(config=SolverConfig(timeout=30.0))
+    script = parse_script(
+        '(set-info :alphabet "ab")\n(declare-const x String)\n'
+        '(assert (str.in_re x (re.+ (str.to_re "a"))))\n(check-sat)\n'
+    )
+    # patch a faulting budget into the session via a pre-check hook: run
+    # the script normally first to confirm the clean path has no errors
+    runner.run_script(script)
+    assert runner.internal_errors == 0
+    session = runner.session
+    injector = FaultInjector([FaultSpec("*", at=1, action="raise")])
+    result = session.check(budget=Budget(30.0, hook=injector))
+    assert result.stats.get("internal_errors", 0) == 1
+
+
 # ----------------------------------------------------------------------
 # Extended string functions (str.substr / str.indexof / str.replace)
 # ----------------------------------------------------------------------
