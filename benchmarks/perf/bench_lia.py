@@ -27,6 +27,13 @@ Four workloads are timed:
 * **e2e** — the scaled-down end-to-end benchmark suite
   (:func:`repro.benchgen.suite.benchmark_sets`, scale 1) under the position
   solver with a 20 s per-instance timeout.
+* **automata** — the integer-dense automata core (bitset subset
+  construction, lazy product emptiness, dense inclusion) timed against the
+  seed's set-based implementations kept in ``repro.automata.legacy``, on
+  the same randomly generated NFA pairs.  Both implementations must agree
+  on every verdict (DFA size, emptiness, inclusion — ``wrong_verdicts``
+  must stay 0) and the dense pass must be at least
+  ``AUTOMATA_SPEEDUP_FLOOR``× faster in-process.
 
 Speedups are reported against ``seed_baseline.json`` — per-instance timings
 of the pre-incremental seed measured on the same machine — and the result is
@@ -83,6 +90,12 @@ CUTS_TIMEOUT = 25.0
 DISTINCT_TIMEOUT = 20.0
 #: distinct instances run in quick mode (the full list in ``run_distinct``)
 DISTINCT_QUICK = ("distinct-3", "distinct-5", "distinct-php-3-over-2")
+#: minimum in-process speedup of the dense automata core over the legacy
+#: set-based implementations (the acceptance bar of the dense rework)
+AUTOMATA_SPEEDUP_FLOOR = 5.0
+#: NFA pairs measured by the automata workload (quick mode runs fewer)
+AUTOMATA_PAIRS = 12
+AUTOMATA_QUICK_PAIRS = 4
 #: per-check timeout of the session workload
 SESSION_TIMEOUT = 60.0
 #: chain length of the session workload (quick mode runs a prefix)
@@ -421,6 +434,136 @@ def run_e2e(baseline: Dict, quick: bool) -> Dict:
     return summary
 
 
+def _automata_instances(quick: bool):
+    """Seeded NFA families over a two-symbol alphabet.
+
+    Two shapes, matching how the solver stresses the automata core:
+
+    * ``blowup-*`` — ``(a|b)* a (a|b)^{k-1}`` plus a few random extra
+      edges: subset construction reaches ~2^k subsets (determinize /
+      complement pressure);
+    * ``pair-*`` — random 12–16-state NFA pairs as produced by regex
+      compilation: product emptiness and inclusion pressure (the
+      consequence pre-pass, guard pruning and the MBQI ¬contains loop).
+    """
+    import random
+
+    from repro.automata.nfa import Nfa
+
+    rng = random.Random(20260808)
+
+    blowups = []
+    for index, k in enumerate((8, 9, 10, 8, 9, 10)[: 2 if quick else 6]):
+        nfa = Nfa({"a", "b"})
+        states = [nfa.add_state() for _ in range(k + 1)]
+        nfa.add_transition(states[0], "a", states[0])
+        nfa.add_transition(states[0], "b", states[0])
+        nfa.add_transition(states[0], "a", states[1])
+        for i in range(1, k):
+            nfa.add_transition(states[i], "a", states[i + 1])
+            nfa.add_transition(states[i], "b", states[i + 1])
+        nfa.make_initial(states[0])
+        nfa.make_final(states[k])
+        for _ in range(3):
+            nfa.add_transition(rng.choice(states), rng.choice("ab"), rng.choice(states))
+        blowups.append((f"blowup-{index}", nfa))
+
+    pairs = []
+    for index in range(AUTOMATA_QUICK_PAIRS if quick else AUTOMATA_PAIRS):
+        entry = []
+        for _ in range(2):
+            n = rng.randint(12, 16)
+            nfa = Nfa({"a", "b"})
+            states = [nfa.add_state() for _ in range(n)]
+            for _ in range(4 * n):
+                nfa.add_transition(
+                    rng.choice(states), rng.choice("ab"), rng.choice(states)
+                )
+            nfa.make_initial(states[0])
+            for _ in range(2):
+                nfa.make_final(rng.choice(states))
+            entry.append(nfa)
+        pairs.append((f"pair-{index}", entry[0], entry[1]))
+    return blowups, pairs
+
+
+def run_automata(quick: bool) -> Dict:
+    from repro.automata import legacy as leg
+    from repro.automata import operations as ops
+
+    sigma = "ab"
+    blowups, pairs = _automata_instances(quick)
+
+    def dense_pass():
+        verdicts = []
+        for _, a in blowups:
+            # Fresh copies so each timed pass pays its own dense compilation.
+            a = a.copy()
+            a._dense = None
+            dfa, _ = ops.determinize(a, sigma)
+            verdicts.append((len(dfa.states), ops.complement(a, sigma).is_empty()))
+        for _, a, b in pairs:
+            a, b = a.copy(), b.copy()
+            a._dense = b._dense = None
+            # Emptiness is answered lazily — no product is materialised.
+            verdicts.append(
+                (ops.intersection_empty(a, b), ops.is_subset(a, b, sigma))
+            )
+        return verdicts
+
+    def legacy_pass():
+        verdicts = []
+        for _, a in blowups:
+            dfa, _ = leg.legacy_determinize(a, sigma)
+            verdicts.append(
+                (len(dfa.states), leg.legacy_is_empty(leg.legacy_complement(a, sigma)))
+            )
+        for _, a, b in pairs:
+            # The seed's emptiness path: materialise the product, trim it,
+            # inspect the survivors (see repro.automata.legacy).
+            verdicts.append(
+                (
+                    leg.legacy_intersection_empty(a, b),
+                    leg.legacy_is_subset(a, b, sigma),
+                )
+            )
+        return verdicts
+
+    def best_of_three(fn):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    # Warm-up (bytecode, allocator), then best-of-3 for each side.
+    dense_verdicts = dense_pass()
+    legacy_verdicts = legacy_pass()
+    dense_seconds = best_of_three(dense_pass)
+    legacy_seconds = best_of_three(legacy_pass)
+
+    wrong_verdicts = sum(
+        1 for d, l in zip(dense_verdicts, legacy_verdicts) if d != l
+    )
+    names = [name for name, _ in blowups] + [name for name, _, _ in pairs]
+    entry = {
+        "instances": len(names),
+        "dense_seconds": round(dense_seconds, 4),
+        "legacy_seconds": round(legacy_seconds, 4),
+        "speedup_dense_vs_legacy": round(legacy_seconds / dense_seconds, 2),
+        "speedup_floor": AUTOMATA_SPEEDUP_FLOOR,
+        "wrong_verdicts": wrong_verdicts,
+        "verdicts": dict(zip(names, dense_verdicts)),
+    }
+    print(
+        f"[automata] {len(names)} instances: dense {dense_seconds:.3f}s, "
+        f"legacy {legacy_seconds:.3f}s "
+        f"({entry['speedup_dense_vs_legacy']}x, {wrong_verdicts} wrong)"
+    )
+    return entry
+
+
 def run(quick: bool = False, output: Optional[str] = None) -> Dict:
     with open(SEED_BASELINE_PATH) as fh:
         baseline = json.load(fh)
@@ -431,6 +574,7 @@ def run(quick: bool = False, output: Optional[str] = None) -> Dict:
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
+        "automata": run_automata(quick),
         "mbqi": run_mbqi(baseline, quick),
         "session": run_session(quick),
         "cuts": run_cuts(quick),

@@ -4,10 +4,12 @@ Selected with ``pytest -m bench`` (optionally ``--quick``); in a regular
 test run the module skips itself so the tier-1 suite stays fast.  In quick
 mode the measured times are gated against the committed ``BENCH_lia.json``:
 the job fails when the quick workload regresses by more than 25 % — and,
-independently of timing, whenever any workload (the commuting-disequality
-cuts instances, the distinct family or the e2e suite) produces a wrong
-verdict or a distinct instance times out, or the session chain diverges
-from (or fails to beat) the repeated one-shot path.
+independently of timing, whenever any workload (the automata core, the
+commuting-disequality cuts instances, the distinct family or the e2e
+suite) produces a wrong verdict or a distinct instance times out, the
+session chain diverges from (or fails to beat) the repeated one-shot
+path, or the dense automata core drops below its in-process speedup
+floor over the legacy implementations.
 """
 
 import json
@@ -16,7 +18,7 @@ import shutil
 
 import pytest
 
-from bench_lia import DEFAULT_OUTPUT_PATH, run
+from bench_lia import AUTOMATA_SPEEDUP_FLOOR, DEFAULT_OUTPUT_PATH, run
 
 #: tolerated slowdown against the committed baseline before the gate fails
 REGRESSION_FACTOR = 1.25
@@ -38,6 +40,17 @@ def test_bench_lia(bench_selected, tmp_path_factory):
     # run cannot clobber the baseline the CI gate compares against.
     output = str(tmp_path_factory.mktemp("bench") / "BENCH_lia.json")
     report = run(quick=quick, output=output)
+
+    # Automata workload: the dense core must agree with the legacy
+    # set-based oracles on every verdict and beat them by the committed
+    # floor — an in-process ratio, so it gates in quick mode too.
+    automata = report["automata"]
+    assert automata["wrong_verdicts"] == 0, automata["verdicts"]
+    assert automata["speedup_dense_vs_legacy"] >= AUTOMATA_SPEEDUP_FLOOR, (
+        f"dense automata core below the {AUTOMATA_SPEEDUP_FLOOR}x floor: "
+        f"{automata['speedup_dense_vs_legacy']}x "
+        f"(dense {automata['dense_seconds']}s, legacy {automata['legacy_seconds']}s)"
+    )
 
     mbqi = report["mbqi"]["instances"]
     assert mbqi, "no MBQI instances ran"

@@ -11,6 +11,7 @@ Public surface:
 """
 
 from .nfa import EPSILON, Nfa
+from .dense import DenseNfa, as_dense, as_nfa, intern_nfa
 from .operations import (
     complement,
     concat,
@@ -18,6 +19,7 @@ from .operations import (
     difference,
     equivalent,
     intersection,
+    intersection_empty,
     is_subset,
     optional,
     plus,
@@ -27,6 +29,7 @@ from .operations import (
     star,
     union,
 )
+from .serialization import from_dict, to_dict
 from .regex import DEFAULT_ALPHABET, RegexError, compile_regex, parse
 from .flatness import is_flat, strongly_connected_components
 from .enumeration import count_words_of_length, is_finite, shortest_word, words_up_to
@@ -35,6 +38,13 @@ from .minimization import canonical_signature, minimize
 __all__ = [
     "EPSILON",
     "Nfa",
+    "DenseNfa",
+    "as_dense",
+    "as_nfa",
+    "intern_nfa",
+    "intersection_empty",
+    "to_dict",
+    "from_dict",
     "union",
     "concat",
     "star",

@@ -3,70 +3,71 @@
 These functions back the brute-force oracle solver and the test suite:
 bounded enumeration of a regular language, shortest accepted word, counting
 words per length, and random sampling of accepted words.
+
+All entry points accept either automaton form (:class:`Nfa` or
+:class:`DenseNfa`).  The breadth-first walks run on dense bitset subsets —
+one int per frontier entry, ε-closures from the precomputed closure masks —
+while preserving the sorted-symbol enumeration order the oracle tests rely
+on (``DenseNfa.symbols`` is sorted by construction).
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from . import operations as ops
-from .nfa import EPSILON, Nfa, State
+from .dense import as_dense, as_nfa
+from .nfa import State
 
 
-def shortest_word(nfa: Nfa) -> Optional[str]:
+def shortest_word(nfa) -> Optional[str]:
     """Return a shortest accepted word, or ``None`` when the language is empty."""
-    start = nfa.epsilon_closure(nfa.initial)
-    if start & nfa.final:
+    dense = as_dense(nfa)
+    start = dense.closure_of(dense.initial)
+    final = dense.final
+    if start & final:
         return ""
     queue: deque = deque([(start, "")])
-    seen: Set[FrozenSet[State]] = {start}
+    seen = {start}
+    symbol_range = range(len(dense.symbols))
+    symbols = dense.symbols
     while queue:
-        states, word = queue.popleft()
-        symbols = set()
-        for state in states:
-            for symbol, _ in nfa.transitions_from(state):
-                if symbol is not EPSILON:
-                    symbols.add(symbol)
-        for symbol in sorted(symbols):
-            targets: Set[State] = set()
-            for state in states:
-                targets |= nfa.successors(state, symbol)
-            closure = nfa.epsilon_closure(targets)
-            if not closure:
+        mask, word = queue.popleft()
+        for k in symbol_range:
+            targets = dense.step(mask, k)
+            if not targets:
                 continue
-            if closure & nfa.final:
-                return word + symbol
+            closure = dense.closure_of(targets)
+            if closure & final:
+                return word + symbols[k]
             if closure not in seen:
                 seen.add(closure)
-                queue.append((closure, word + symbol))
+                queue.append((closure, word + symbols[k]))
     return None
 
 
-def words_up_to(nfa: Nfa, max_length: int) -> Iterator[str]:
+def words_up_to(nfa, max_length: int) -> Iterator[str]:
     """Yield every accepted word of length at most ``max_length`` (sorted by length)."""
-    start = nfa.epsilon_closure(nfa.initial)
-    layer: List[Tuple[FrozenSet[State], str]] = [(start, "")]
-    if start & nfa.final:
+    dense = as_dense(nfa)
+    start = dense.closure_of(dense.initial)
+    final = dense.final
+    layer: List[Tuple[int, str]] = [(start, "")]
+    if start & final:
         yield ""
+    symbol_range = range(len(dense.symbols))
+    symbols = dense.symbols
     for _ in range(max_length):
-        next_layer: List[Tuple[FrozenSet[State], str]] = []
-        for states, word in layer:
-            symbols = set()
-            for state in states:
-                for symbol, _ in nfa.transitions_from(state):
-                    if symbol is not EPSILON:
-                        symbols.add(symbol)
-            for symbol in sorted(symbols):
-                targets: Set[State] = set()
-                for state in states:
-                    targets |= nfa.successors(state, symbol)
-                closure = nfa.epsilon_closure(targets)
-                if not closure:
+        next_layer: List[Tuple[int, str]] = []
+        for mask, word in layer:
+            for k in symbol_range:
+                targets = dense.step(mask, k)
+                if not targets:
                     continue
-                new_word = word + symbol
-                if closure & nfa.final:
+                closure = dense.closure_of(targets)
+                new_word = word + symbols[k]
+                if closure & final:
                     yield new_word
                 next_layer.append((closure, new_word))
         layer = next_layer
@@ -74,13 +75,14 @@ def words_up_to(nfa: Nfa, max_length: int) -> Iterator[str]:
             return
 
 
-def count_words_of_length(nfa: Nfa, length: int) -> int:
+def count_words_of_length(nfa, length: int) -> int:
     """Return the number of distinct accepted words of exactly ``length``."""
     # Determinise so that distinct paths correspond to distinct words.
-    sigma = nfa.alphabet
+    source = as_nfa(nfa)
+    sigma = source.alphabet
     if not sigma:
-        return 1 if length == 0 and nfa.accepts("") else 0
-    dfa, _ = ops.determinize(nfa, sigma)
+        return 1 if length == 0 and source.accepts("") else 0
+    dfa, _ = ops.determinize(source, sigma, want_subsets=False)
     counts: Dict[State, int] = {state: 1 for state in dfa.initial}
     for _ in range(length):
         new_counts: Dict[State, int] = {}
@@ -91,9 +93,9 @@ def count_words_of_length(nfa: Nfa, length: int) -> int:
     return sum(count for state, count in counts.items() if state in dfa.final)
 
 
-def is_finite(nfa: Nfa) -> bool:
+def is_finite(nfa) -> bool:
     """Decide whether the language of ``nfa`` is finite."""
-    trimmed = nfa.trim()
+    trimmed = as_nfa(nfa).trim()
     # A trimmed automaton has an infinite language iff it contains a cycle.
     from .flatness import strongly_connected_components
 
@@ -106,7 +108,7 @@ def is_finite(nfa: Nfa) -> bool:
     return True
 
 
-def sample_word(nfa: Nfa, max_length: int, rng: Optional[random.Random] = None) -> Optional[str]:
+def sample_word(nfa, max_length: int, rng: Optional[random.Random] = None) -> Optional[str]:
     """Sample a random accepted word of length at most ``max_length``.
 
     Returns ``None`` when no accepted word of that length exists.  The

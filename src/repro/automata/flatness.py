@@ -15,11 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from .dense import as_nfa
 from .nfa import Nfa, State
 
 
-def strongly_connected_components(nfa: Nfa) -> List[Set[State]]:
+def strongly_connected_components(nfa) -> List[Set[State]]:
     """Return the SCCs of the transition graph (Tarjan's algorithm, iterative)."""
+    nfa = as_nfa(nfa)
     graph: Dict[State, List[State]] = {state: [] for state in nfa.states}
     for src, _, dst in nfa.iter_transitions():
         graph.setdefault(src, []).append(dst)
@@ -80,8 +82,9 @@ def is_flat(nfa: Nfa) -> bool:
     SCC must form a single simple cycle.  Single states with several parallel
     self-loop symbols are *not* flat (two runs ``ab`` and ``ba`` share a
     Parikh image), so parallel intra-SCC transitions also violate flatness.
+    Accepts either automaton form.
     """
-    trimmed = nfa.trim()
+    trimmed = as_nfa(nfa).trim()
     components = strongly_connected_components(trimmed)
     for component in components:
         internal_out: Dict[State, int] = {state: 0 for state in component}
@@ -100,9 +103,9 @@ def is_flat(nfa: Nfa) -> bool:
     return True
 
 
-def flat_witness(nfa: Nfa) -> str:
+def flat_witness(nfa) -> str:
     """Return a human-readable explanation of why ``nfa`` is or is not flat."""
-    trimmed = nfa.trim()
+    trimmed = as_nfa(nfa).trim()
     for component in strongly_connected_components(trimmed):
         internal = [
             (src, symbol, dst)

@@ -13,9 +13,17 @@ while being built and is typically treated as immutable afterwards.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
-
-from ..budget import checkpoint
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
 
 #: Epsilon label used on transitions that do not consume a symbol.
 EPSILON: Optional[str] = None
@@ -23,6 +31,15 @@ EPSILON: Optional[str] = None
 Symbol = Optional[str]
 State = int
 Transition = Tuple[State, Symbol, State]
+
+
+class CopiedPart(NamedTuple):
+    """What :meth:`Nfa.copy_into` spliced in: the renumbered initial/final
+    sets, plus the full old→new state map when it was requested."""
+
+    initial: Set[State]
+    final: Set[State]
+    mapping: Optional[Dict[State, State]]
 
 
 class Nfa:
@@ -34,19 +51,21 @@ class Nfa:
     """
 
     __slots__ = (
-        "states",
-        "initial",
-        "final",
+        "_states",
+        "_initial",
+        "_final",
         "_delta",
         "_by_symbol",
         "_alphabet",
         "_next_state",
+        "_dense",
     )
 
     def __init__(self, alphabet: Optional[Iterable[str]] = None) -> None:
-        self.states: Set[State] = set()
-        self.initial: Set[State] = set()
-        self.final: Set[State] = set()
+        self._dense = None
+        self._states: Set[State] = set()
+        self._initial: Set[State] = set()
+        self._final: Set[State] = set()
         self._delta: Dict[State, Dict[Symbol, Set[State]]] = {}
         #: alphabet-partitioned transition index ``symbol -> src -> dsts``;
         #: the successor sets are shared (aliased) with ``_delta``, so both
@@ -63,6 +82,39 @@ class Nfa:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    # ``states``/``initial``/``final`` are managed attributes: assigning a
+    # new set (the idiom every construction in this codebase uses, e.g.
+    # ``product.initial = {...}``) must drop the cached dense compilation,
+    # which may be shared with the ``copy()`` source.  In-place mutation of
+    # the returned sets is reserved to this class's own methods, which
+    # invalidate explicitly.
+    @property
+    def states(self) -> Set[State]:
+        return self._states
+
+    @states.setter
+    def states(self, value: Set[State]) -> None:
+        self._states = value
+        self._dense = None
+
+    @property
+    def initial(self) -> Set[State]:
+        return self._initial
+
+    @initial.setter
+    def initial(self, value: Set[State]) -> None:
+        self._initial = value
+        self._dense = None
+
+    @property
+    def final(self) -> Set[State]:
+        return self._final
+
+    @final.setter
+    def final(self, value: Set[State]) -> None:
+        self._final = value
+        self._dense = None
+
     def _note_state(self, state: State) -> None:
         if state >= self._next_state:
             self._next_state = state + 1
@@ -70,6 +122,22 @@ class Nfa:
     def _sync_state_counter(self) -> None:
         """Re-derive the fresh-id counter after a bulk ``states`` assignment."""
         self._next_state = max(self.states, default=-1) + 1
+        self._dense = None
+
+    def dense(self):
+        """The cached integer-dense compilation of this automaton.
+
+        Compiled on demand (one pass over the transition structure) and
+        reused until the next mutation; see :class:`repro.automata.dense.DenseNfa`.
+        Automata built by the operations layer and the normalisation cache
+        arrive with the dense form pre-attached.
+        """
+        compiled = self._dense
+        if compiled is None:
+            from .dense import DenseNfa
+
+            compiled = self._dense = DenseNfa.from_nfa(self)
+        return compiled
 
     def add_state(self, state: Optional[State] = None) -> State:
         """Add a state (allocating a fresh identifier when none is given)."""
@@ -77,6 +145,7 @@ class Nfa:
             state = self._next_state
         self._note_state(state)
         self.states.add(state)
+        self._dense = None
         return state
 
     def add_states(self, count: int) -> List[State]:
@@ -87,11 +156,13 @@ class Nfa:
         self._note_state(state)
         self.states.add(state)
         self.initial.add(state)
+        self._dense = None
 
     def make_final(self, state: State) -> None:
         self._note_state(state)
         self.states.add(state)
         self.final.add(state)
+        self._dense = None
 
     def add_transition(self, src: State, symbol: Symbol, dst: State) -> None:
         """Add the transition ``src --symbol--> dst``.
@@ -105,8 +176,9 @@ class Nfa:
             self._alphabet.add(symbol)
         self._note_state(src)
         self._note_state(dst)
-        self.states.add(src)
-        self.states.add(dst)
+        self._states.add(src)
+        self._states.add(dst)
+        self._dense = None
         by_state = self._delta.setdefault(src, {})
         targets = by_state.get(symbol)
         if targets is None:
@@ -198,72 +270,65 @@ class Nfa:
         return frozenset(closure)
 
     def accepts(self, word: str) -> bool:
-        """Decide whether ``word`` belongs to the language of the automaton."""
-        current = self.epsilon_closure(self.initial)
-        for ch in word:
-            nxt: Set[State] = set()
-            for state in current:
-                nxt |= self._delta.get(state, {}).get(ch, set())
-            if not nxt:
-                return False
-            current = self.epsilon_closure(nxt)
-        return any(state in self.final for state in current)
+        """Decide whether ``word`` belongs to the language of the automaton.
+
+        Runs on the dense form: one bitset per step instead of a set of
+        states (the ε-closure masks are precomputed once per compilation).
+        """
+        return self.dense().accepts(word)
 
     # ------------------------------------------------------------------
     # Reachability / emptiness
     # ------------------------------------------------------------------
     def reachable_states(self) -> Set[State]:
-        """Return states reachable from some initial state."""
-        seen: Set[State] = set()
-        work = deque(self.initial)
-        seen.update(self.initial)
-        while work:
-            checkpoint("automata.reachable")
-            state = work.popleft()
-            for _, dst in self.transitions_from(state):
-                if dst not in seen:
-                    seen.add(dst)
-                    work.append(dst)
-        return seen
+        """Return states reachable from some initial state.
+
+        Computed on the dense form: a frontier bitset advanced by per-state
+        successor masks (word-parallel), mapped back to facade state ids.
+        """
+        compiled = self.dense()
+        return compiled.ids_of(compiled.reachable_mask())
 
     def coreachable_states(self) -> Set[State]:
         """Return states from which some final state is reachable."""
-        predecessors: Dict[State, Set[State]] = {}
-        for src, _, dst in self.iter_transitions():
-            predecessors.setdefault(dst, set()).add(src)
-        seen: Set[State] = set(self.final)
-        work = deque(self.final)
-        while work:
-            checkpoint("automata.coreachable")
-            state = work.popleft()
-            for src in predecessors.get(state, set()):
-                if src not in seen:
-                    seen.add(src)
-                    work.append(src)
-        return seen
+        compiled = self.dense()
+        return compiled.ids_of(compiled.coreachable_mask())
 
     def is_empty(self) -> bool:
         """Decide whether the language of the automaton is empty."""
-        return not (self.reachable_states() & self.final)
+        compiled = self.dense()
+        return not (compiled.reachable_mask() & compiled.final)
 
     def trim(self) -> "Nfa":
         """Return a copy restricted to useful (reachable and co-reachable) states."""
-        useful = self.reachable_states() & self.coreachable_states()
+        compiled = self.dense()
+        useful_mask = compiled.reachable_mask() & compiled.coreachable_mask()
+        useful = compiled.ids_of(useful_mask)
         result = Nfa(self._alphabet)
-        result.states = set(useful)
+        result.states = useful
         result.initial = self.initial & useful
         result.final = self.final & useful
-        for src, symbol, dst in self.iter_transitions():
-            if src in useful and dst in useful:
-                result.add_transition(src, symbol, dst)
-        # ``add_transition`` may have re-added states; restrict again.
-        result.states &= useful | result.initial | result.final
-        if not result.states and self.initial & self.final:
-            # The empty word is accepted but there are no transitions.
-            state = next(iter(self.initial & self.final))
-            result.states = {state}
-            result.initial = {state}
-            result.final = {state}
+        delta = result._delta
+        by_symbol = result._by_symbol
+        ids = compiled.state_ids
+        symbols = compiled.symbols
+        edge_src = compiled.edge_src
+        edge_sym = compiled.edge_sym
+        edge_dst = compiled.edge_dst
+        for position in range(len(edge_src)):
+            src_index = edge_src[position]
+            dst_index = edge_dst[position]
+            if not (useful_mask >> src_index) & 1 or not (useful_mask >> dst_index) & 1:
+                continue
+            src = ids[src_index]
+            symbol_index = edge_sym[position]
+            symbol = symbols[symbol_index] if symbol_index >= 0 else EPSILON
+            by_state = delta.setdefault(src, {})
+            targets = by_state.get(symbol)
+            if targets is None:
+                targets = by_state[symbol] = set()
+                by_symbol.setdefault(symbol, {})[src] = targets
+            targets.add(ids[dst_index])
         result._sync_state_counter()
         return result
 
@@ -276,25 +341,87 @@ class Nfa:
         result.states = set(self.states)
         result.initial = set(self.initial)
         result.final = set(self.final)
+        for src, by_state in self._delta.items():
+            new_by_state = result._delta[src] = {}
+            for symbol, dsts in by_state.items():
+                targets = new_by_state[symbol] = set(dsts)
+                result._by_symbol.setdefault(symbol, {})[src] = targets
         result._sync_state_counter()
-        for src, symbol, dst in self.iter_transitions():
-            result.add_transition(src, symbol, dst)
+        # Same states, same transitions: the dense compilation (immutable)
+        # is shared until either side mutates.
+        result._dense = self._dense
         return result
+
+    def copy_into(
+        self,
+        result: "Nfa",
+        offset: Optional[int] = None,
+        want_mapping: bool = False,
+    ) -> CopiedPart:
+        """Splice a renumbered copy of this automaton into ``result``.
+
+        States are renamed to ``offset, offset+1, ...`` (``offset`` defaults
+        to ``result``'s next fresh id) and added to ``result`` together with
+        all transitions, in one bulk pass over the internal tables — the
+        shared helper behind ``union``/``concat``/``star``.  The caller
+        decides what to do with the returned initial/final sets; nothing is
+        marked initial or final in ``result``.  The old→new state map is
+        only materialised when ``want_mapping`` is set (contiguous automata
+        renumber by plain offset addition, so most callers skip it).
+        """
+        if offset is None:
+            offset = result._next_state
+        count = len(self.states)
+        mapping: Optional[Dict[State, State]] = None
+        if want_mapping or count != self._next_state:
+            # Non-contiguous state ids (or an explicit request): build the
+            # sorted-order renaming map, exactly as ``renumbered`` always did.
+            mapping = {
+                state: offset + index
+                for index, state in enumerate(sorted(self.states))
+            }
+            rename = mapping.__getitem__
+            result.states.update(mapping.values())
+        else:
+            # Contiguous ids 0..n-1: renaming is a plain shift.
+            rename = offset.__add__
+            result.states.update(range(offset, offset + count))
+        for src, by_state in self._delta.items():
+            new_src = rename(src)
+            dest_by_state = result._delta.setdefault(new_src, {})
+            for symbol, dsts in by_state.items():
+                if mapping is not None:
+                    new_dsts = {mapping[dst] for dst in dsts}
+                else:
+                    new_dsts = {dst + offset for dst in dsts}
+                targets = dest_by_state.get(symbol)
+                if targets is None:
+                    dest_by_state[symbol] = new_dsts
+                    result._by_symbol.setdefault(symbol, {})[new_src] = new_dsts
+                else:
+                    targets |= new_dsts
+        result._alphabet |= self._alphabet
+        if result._next_state < offset + count:
+            result._next_state = offset + count
+        result._dense = None
+        return CopiedPart(
+            initial={rename(s) for s in self.initial},
+            final={rename(s) for s in self.final},
+            mapping=mapping,
+        )
 
     def renumbered(self, offset: int = 0) -> Tuple["Nfa", Dict[State, State]]:
         """Return a copy with states renamed to ``offset, offset+1, ...``.
 
         Also returns the renaming map from old to new state identifiers.
+        Callers that immediately discard the map should use
+        :meth:`copy_into` instead (it skips building it).
         """
-        mapping = {state: offset + index for index, state in enumerate(sorted(self.states))}
         result = Nfa(self._alphabet)
-        result.states = set(mapping.values())
-        result.initial = {mapping[s] for s in self.initial}
-        result.final = {mapping[s] for s in self.final}
-        result._sync_state_counter()
-        for src, symbol, dst in self.iter_transitions():
-            result.add_transition(mapping[src], symbol, mapping[dst])
-        return result, mapping
+        part = self.copy_into(result, offset, want_mapping=True)
+        result.initial = set(part.initial)
+        result.final = set(part.final)
+        return result, part.mapping
 
     # ------------------------------------------------------------------
     # Convenience constructors

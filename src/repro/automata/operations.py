@@ -4,30 +4,35 @@ These operations back both the regex compiler and the string solver: regular
 membership constraints are intersected per variable, complements are needed
 for negated regular memberships, and concatenation/star implement regex
 operators.
+
+The hot operations (subset construction, products, ε-elimination and the
+emptiness/inclusion decisions) run on the integer-dense form of
+:mod:`repro.automata.dense` — bitset state sets and per-symbol successor-mask
+rows — and accept either an :class:`Nfa` or a :class:`DenseNfa`.  Results
+are materialised back into facade :class:`Nfa` objects (with the dense form
+cached on them whenever it is already known), so the public contracts are
+unchanged.  The pre-rewrite set-based implementations live on in
+:mod:`repro.automata.legacy` as differential-test oracles and as the bench
+baseline.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..budget import checkpoint
+from .dense import DenseNfa, as_dense, dense_is_subset, iter_bits, product_is_empty
 from .nfa import EPSILON, Nfa, State
 
 
 def union(left: Nfa, right: Nfa) -> Nfa:
     """Return an NFA for ``L(left) ∪ L(right)``."""
     result = Nfa(left.alphabet | right.alphabet)
-    left_copy, left_map = left.renumbered(0)
-    offset = left_copy._next_state
-    right_copy, right_map = right.renumbered(offset)
-    for part in (left_copy, right_copy):
-        result.states |= part.states
-        result.initial |= part.initial
-        result.final |= part.final
-        result._sync_state_counter()
-        for src, symbol, dst in part.iter_transitions():
-            result.add_transition(src, symbol, dst)
+    left_part = left.copy_into(result, 0)
+    right_part = right.copy_into(result)
+    result.initial = left_part.initial | right_part.initial
+    result.final = left_part.final | right_part.final
     return result
 
 
@@ -38,32 +43,27 @@ def concat(left: Nfa, right: Nfa) -> Nfa:
     ``right`` with epsilon transitions (the ε-concatenation of the paper).
     """
     result = Nfa(left.alphabet | right.alphabet)
-    left_copy, _ = left.renumbered(0)
-    offset = left_copy._next_state
-    right_copy, _ = right.renumbered(offset)
-    result.states = left_copy.states | right_copy.states
-    result.initial = set(left_copy.initial)
-    result.final = set(right_copy.final)
-    result._sync_state_counter()
-    for part in (left_copy, right_copy):
-        for src, symbol, dst in part.iter_transitions():
-            result.add_transition(src, symbol, dst)
-    for final_state in left_copy.final:
-        for initial_state in right_copy.initial:
+    left_part = left.copy_into(result, 0)
+    right_part = right.copy_into(result)
+    for final_state in left_part.final:
+        for initial_state in right_part.initial:
             result.add_transition(final_state, EPSILON, initial_state)
+    result.initial = set(left_part.initial)
+    result.final = set(right_part.final)
     return result
 
 
 def star(nfa: Nfa) -> Nfa:
     """Return an NFA for the Kleene star ``L(nfa)*``."""
-    result, _ = nfa.renumbered(0)
+    result = Nfa(nfa.alphabet)
+    part = nfa.copy_into(result, 0)
     fresh = result.add_state()
-    for initial_state in set(result.initial):
+    for initial_state in part.initial:
         result.add_transition(fresh, EPSILON, initial_state)
-    for final_state in set(result.final):
+    for final_state in part.final:
         result.add_transition(final_state, EPSILON, fresh)
     result.initial = {fresh}
-    result.final = result.final | {fresh}
+    result.final = part.final | {fresh}
     return result
 
 
@@ -74,13 +74,13 @@ def plus(nfa: Nfa) -> Nfa:
 
 def optional(nfa: Nfa) -> Nfa:
     """Return an NFA for ``L(nfa) ∪ {ε}``."""
-    result, _ = nfa.renumbered(0)
+    result = Nfa(nfa.alphabet)
+    part = nfa.copy_into(result, 0)
     fresh = result.add_state()
-    result.make_initial(fresh)
-    result.make_final(fresh)
-    for initial_state in set(result.initial) - {fresh}:
+    for initial_state in part.initial:
         result.add_transition(fresh, EPSILON, initial_state)
     result.initial = {fresh}
+    result.final = part.final | {fresh}
     return result
 
 
@@ -103,25 +103,38 @@ def repeat(nfa: Nfa, low: int, high: Optional[int]) -> Nfa:
     return result
 
 
-def remove_epsilon(nfa: Nfa) -> Nfa:
-    """Return an equivalent NFA without epsilon transitions."""
-    result = Nfa(nfa.alphabet)
-    result.states = set(nfa.states)
-    result.initial = set(nfa.initial)
+def remove_epsilon(nfa) -> Nfa:
+    """Return an equivalent NFA without epsilon transitions.
+
+    Accepts either form; the closure saturation runs on ε-closure bitsets
+    (:meth:`DenseNfa.eps_free`) and the facade result keeps the input's
+    state identifiers with the ε-free dense form pre-cached.
+    """
+    if isinstance(nfa, Nfa) and not nfa.has_epsilon():
+        return nfa.copy()
+    compiled = as_dense(nfa)
+    eps_free = compiled.eps_free()
+    result = Nfa(set(compiled.alphabet))
+    ids = compiled.state_ids
+    result.states = set(ids)
+    result.initial = {ids[i] for i in iter_bits(eps_free.initial)}
+    result.final = {ids[i] for i in iter_bits(eps_free.final)}
+    delta = result._delta
+    by_symbol = result._by_symbol
+    for k, symbol in enumerate(eps_free.symbols):
+        row = eps_free.rows[k]
+        on_symbol: Dict[State, Set[State]] = {}
+        for index in range(eps_free.n):
+            mask = row[index]
+            if mask:
+                targets = {ids[i] for i in iter_bits(mask)}
+                on_symbol[ids[index]] = targets
+                delta.setdefault(ids[index], {})[symbol] = targets
+        if on_symbol:
+            by_symbol[symbol] = on_symbol
     result._sync_state_counter()
-    closures: Dict[State, FrozenSet[State]] = {
-        state: nfa.epsilon_closure([state]) for state in nfa.states
-    }
-    for state in nfa.states:
-        checkpoint("automata.remove_epsilon")
-        closure = closures[state]
-        if closure & nfa.final:
-            result.make_final(state)
-        for member in closure:
-            for symbol, dst in nfa.transitions_from(member):
-                if symbol is EPSILON:
-                    continue
-                result.add_transition(state, symbol, dst)
+    if ids == tuple(range(eps_free.n)):
+        result._dense = eps_free
     return result
 
 
@@ -130,11 +143,12 @@ class StateBudgetExceeded(Exception):
 
 
 def determinize(
-    nfa: Nfa,
+    nfa,
     alphabet: Optional[Iterable[str]] = None,
     max_states: Optional[int] = None,
+    want_subsets: bool = True,
 ) -> Tuple[Nfa, Dict[FrozenSet[State], State]]:
-    """Subset construction.
+    """Subset construction (bitset-based).
 
     Returns a complete DFA (represented as an :class:`Nfa` whose transition
     relation is deterministic and total over ``alphabet``) together with the
@@ -142,108 +156,208 @@ def determinize(
     the sink state.  ``max_states`` caps the construction (the subset space
     is worst-case exponential); exceeding it raises
     :class:`StateBudgetExceeded`.
+
+    Subsets are single Python-int bitsets: the per-symbol move of a subset
+    is a word-parallel OR of precomputed closed successor masks, and subset
+    identity is integer hashing instead of frozenset hashing.  Materialising
+    the subset map costs a frozenset per DFA state; callers that only need
+    the automaton pass ``want_subsets=False`` and get an empty map.
     """
-    sigma = set(alphabet) if alphabet is not None else set(nfa.alphabet)
+    compiled = as_dense(nfa)
+    sigma = set(alphabet) if alphabet is not None else set(compiled.alphabet)
+    sigma_sorted = sorted(sigma)
+    n = compiled.n
+    closures = compiled.closures() if compiled.eps is not None else None
+    # Per sigma symbol: successor rows with the ε-closure already applied,
+    # so each subset move is one OR per member state.  ``None`` marks
+    # symbols with no transitions anywhere (they always move to the sink).
+    closed_rows: List[Optional[List[int]]] = []
+    for symbol in sigma_sorted:
+        k = compiled.symbol_index.get(symbol)
+        if k is None:
+            closed_rows.append(None)
+            continue
+        row = compiled.rows[k]
+        if closures is None:
+            closed_rows.append(list(row))
+        else:
+            closed: List[int] = []
+            for s in range(n):
+                mask = row[s]
+                merged = 0
+                while mask:
+                    low = mask & -mask
+                    merged |= closures[low.bit_length() - 1]
+                    mask ^= low
+                closed.append(merged)
+            closed_rows.append(closed)
+
     dfa = Nfa(sigma)
-    subset_to_state: Dict[FrozenSet[State], State] = {}
+    delta = dfa._delta
+    by_symbol = dfa._by_symbol
+    final_mask = compiled.final
+    mask_to_state: Dict[int, State] = {}
+    finals: Set[State] = set()
 
-    def state_for(subset: FrozenSet[State]) -> State:
-        if subset not in subset_to_state:
-            if max_states is not None and len(subset_to_state) >= max_states:
+    def state_for(mask: int) -> State:
+        state = mask_to_state.get(mask)
+        if state is None:
+            if max_states is not None and len(mask_to_state) >= max_states:
                 raise StateBudgetExceeded(f"more than {max_states} DFA states")
-            subset_to_state[subset] = dfa.add_state()
-            if subset & nfa.final:
-                dfa.make_final(subset_to_state[subset])
-        return subset_to_state[subset]
+            state = len(mask_to_state)
+            mask_to_state[mask] = state
+            if mask & final_mask:
+                finals.add(state)
+        return state
 
-    start = nfa.epsilon_closure(nfa.initial)
+    start = compiled.closure_of(compiled.initial)
     start_state = state_for(start)
-    dfa.make_initial(start_state)
-    work = deque([start])
-    processed: Set[FrozenSet[State]] = {start}
+    work = deque([(start, start_state)])
+    words = compiled._words
+    sym_maps = [by_symbol.setdefault(symbol, {}) for symbol in sigma_sorted]
     while work:
-        # One budget step per explored subset — the unit the worst-case
-        # exponential blowup is measured in.
-        checkpoint("automata.determinize")
-        subset = work.popleft()
-        src = state_for(subset)
-        for symbol in sigma:
-            # Alphabet-partitioned lookup: one dict fetch per symbol instead
-            # of probing every subset state's whole symbol dict.
-            on_symbol = nfa.transitions_on(symbol)
-            targets: Set[State] = set()
-            if on_symbol:
-                for state in subset:
-                    dsts = on_symbol.get(state)
-                    if dsts:
-                        targets |= dsts
-            closure = nfa.epsilon_closure(targets)
-            dst = state_for(closure)
-            dfa.add_transition(src, symbol, dst)
-            if closure not in processed:
-                processed.add(closure)
-                work.append(closure)
+        # One budget step per explored subset (scaled by the bitset width)
+        # — the unit the worst-case exponential blowup is measured in.
+        checkpoint("automata.determinize", words)
+        subset, src = work.popleft()
+        # Every subset is popped exactly once, so its transition dict is
+        # built fresh here rather than probed with setdefault/get.
+        src_delta = delta[src] = {}
+        for position, symbol in enumerate(sigma_sorted):
+            row = closed_rows[position]
+            target = 0
+            if row is not None:
+                rest = subset
+                while rest:
+                    low = rest & -rest
+                    target |= row[low.bit_length() - 1]
+                    rest ^= low
+            dst = mask_to_state.get(target)
+            if dst is None:
+                dst = state_for(target)
+                work.append((target, dst))
+            targets = {dst}
+            src_delta[symbol] = targets
+            sym_maps[position][src] = targets
+    dfa.states = set(range(len(mask_to_state)))
+    dfa.initial = {start_state}
+    dfa.final = finals
+    dfa._sync_state_counter()
+    if not want_subsets:
+        return dfa, {}
+    ids = compiled.state_ids
+    subset_to_state = {
+        frozenset(ids[i] for i in iter_bits(mask)): state
+        for mask, state in mask_to_state.items()
+    }
     return dfa, subset_to_state
 
 
-def complement(nfa: Nfa, alphabet: Iterable[str]) -> Nfa:
+def complement(nfa, alphabet: Iterable[str]) -> Nfa:
     """Return an NFA for ``alphabet* \\ L(nfa)``."""
     sigma = set(alphabet)
-    dfa, _ = determinize(nfa, sigma)
-    result = dfa.copy()
-    result.final = set(dfa.states) - set(dfa.final)
-    return result
+    dfa, _ = determinize(nfa, sigma, want_subsets=False)
+    # ``determinize`` builds a fresh complete DFA, so flipping its finals in
+    # place is safe (nothing else holds a reference).
+    dfa.final = set(dfa.states) - set(dfa.final)
+    dfa._sync_state_counter()
+    return dfa
 
 
-def intersection(left: Nfa, right: Nfa) -> Nfa:
-    """Return the product automaton for ``L(left) ∩ L(right)``."""
-    left_nf = remove_epsilon(left) if left.has_epsilon() else left
-    right_nf = remove_epsilon(right) if right.has_epsilon() else right
-    result = Nfa(left_nf.alphabet & right_nf.alphabet)
-    pair_to_state: Dict[Tuple[State, State], State] = {}
+def intersection(left, right) -> Nfa:
+    """Return the product automaton for ``L(left) ∩ L(right)``.
 
-    def state_for(pair: Tuple[State, State]) -> State:
-        if pair not in pair_to_state:
-            pair_to_state[pair] = result.add_state()
-            if pair[0] in left_nf.final and pair[1] in right_nf.final:
-                result.make_final(pair_to_state[pair])
-        return pair_to_state[pair]
+    Accepts either form on both sides.  The pair walk runs on the ε-free
+    dense rows: the common-symbol lists are intersected once up front and
+    successor pairs come from bitset rows instead of per-state dict probes.
+    """
+    left_dense = as_dense(left).eps_free()
+    right_dense = as_dense(right).eps_free()
+    result = Nfa(set(left_dense.alphabet) & set(right_dense.alphabet))
+    common = [
+        (
+            symbol,
+            left_dense.rows[left_dense.symbol_index[symbol]],
+            right_dense.rows[right_dense.symbol_index[symbol]],
+        )
+        for symbol in left_dense.symbols
+        if symbol in right_dense.symbol_index
+    ]
+    left_final = left_dense.final
+    right_final = right_dense.final
+    pair_to_state: Dict[Tuple[int, int], State] = {}
+    finals: Set[State] = set()
+    delta = result._delta
+    by_symbol = result._by_symbol
+
+    def state_for(p: int, q: int) -> State:
+        state = pair_to_state.get((p, q))
+        if state is None:
+            state = len(pair_to_state)
+            pair_to_state[(p, q)] = state
+            if (left_final >> p) & 1 and (right_final >> q) & 1:
+                finals.add(state)
+        return state
 
     work: deque = deque()
-    for p in left_nf.initial:
-        for q in right_nf.initial:
-            state = state_for((p, q))
-            result.make_initial(state)
+    initial: Set[State] = set()
+    for p in iter_bits(left_dense.initial):
+        for q in iter_bits(right_dense.initial):
+            initial.add(state_for(p, q))
             work.append((p, q))
-    seen: Set[Tuple[State, State]] = set(
-        (p, q) for p in left_nf.initial for q in right_nf.initial
-    )
+    seen = set(pair_to_state)
     while work:
         checkpoint("automata.intersection")
         p, q = work.popleft()
-        src = state_for((p, q))
-        # Intersect the symbol partitions of both states: the product only
-        # follows symbols both sides can take, so neither side's symbol
-        # dict is scanned for transitions the other cannot match.
-        left_on = left_nf.transitions_map(p)
-        right_on = right_nf.transitions_map(q)
-        if len(right_on) < len(left_on):
-            common = right_on.keys() & left_on.keys()
-        else:
-            common = left_on.keys() & right_on.keys()
-        for symbol in common:
-            for p_dst in left_on[symbol]:
-                for q_dst in right_on[symbol]:
+        src = state_for(p, q)
+        src_delta = None
+        for symbol, left_row, right_row in common:
+            left_mask = left_row[p]
+            if not left_mask:
+                continue
+            right_mask = right_row[q]
+            if not right_mask:
+                continue
+            if src_delta is None:
+                src_delta = delta.setdefault(src, {})
+            targets = src_delta.get(symbol)
+            if targets is None:
+                targets = src_delta[symbol] = set()
+                by_symbol.setdefault(symbol, {})[src] = targets
+            rest_left = left_mask
+            while rest_left:
+                low_left = rest_left & -rest_left
+                p_dst = low_left.bit_length() - 1
+                rest_left ^= low_left
+                rest_right = right_mask
+                while rest_right:
+                    low_right = rest_right & -rest_right
+                    q_dst = low_right.bit_length() - 1
+                    rest_right ^= low_right
                     dst_pair = (p_dst, q_dst)
-                    dst = state_for(dst_pair)
-                    result.add_transition(src, symbol, dst)
+                    targets.add(state_for(p_dst, q_dst))
                     if dst_pair not in seen:
                         seen.add(dst_pair)
                         work.append(dst_pair)
+    result.states = set(range(len(pair_to_state)))
+    result.initial = initial
+    result.final = finals
+    result._sync_state_counter()
     return result
 
 
-def difference(left: Nfa, right: Nfa, alphabet: Iterable[str]) -> Nfa:
+def intersection_empty(left, right) -> bool:
+    """Decide ``L(left) ∩ L(right) = ∅`` without materialising the product.
+
+    The on-the-fly lazy check of :func:`repro.automata.dense.product_is_empty`:
+    stops at the first accepting pair, never allocates product states.  Used
+    by the eqsolver consequence pre-pass, the normalisation guard pruning
+    and the solver's vacuous-¬contains filter.
+    """
+    return product_is_empty(left, right)
+
+
+def difference(left, right, alphabet: Iterable[str]) -> Nfa:
     """Return an NFA for ``L(left) \\ L(right)`` over ``alphabet``."""
     return intersection(left, complement(right, alphabet))
 
@@ -260,13 +374,20 @@ def reverse(nfa: Nfa) -> Nfa:
     return result
 
 
-def is_subset(left: Nfa, right: Nfa, alphabet: Optional[Iterable[str]] = None) -> bool:
-    """Decide language inclusion ``L(left) ⊆ L(right)``."""
-    sigma = set(alphabet) if alphabet is not None else left.alphabet | right.alphabet
-    return difference(left, right, sigma).trim().is_empty()
+def is_subset(left, right, alphabet: Optional[Iterable[str]] = None) -> bool:
+    """Decide language inclusion ``L(left) ⊆ L(right)``.
+
+    Decided lazily on the fly (left state × determinised right subset mask,
+    stopping at the first counterexample) — the complement and difference
+    automata of the classical construction are never built.
+    """
+    return dense_is_subset(left, right, alphabet)
 
 
-def equivalent(left: Nfa, right: Nfa, alphabet: Optional[Iterable[str]] = None) -> bool:
+def equivalent(left, right, alphabet: Optional[Iterable[str]] = None) -> bool:
     """Decide language equivalence of the two automata."""
-    sigma = set(alphabet) if alphabet is not None else left.alphabet | right.alphabet
+    if alphabet is None:
+        sigma: Set[str] = set(as_dense(left).alphabet) | set(as_dense(right).alphabet)
+    else:
+        sigma = set(alphabet)
     return is_subset(left, right, sigma) and is_subset(right, left, sigma)

@@ -2,12 +2,26 @@
 
 The JSON-friendly dictionary format is used by the benchmark generators to
 store workloads on disk, and the DOT output is a debugging convenience.
+
+Two dictionary formats round-trip:
+
+* the original transition-list format of :func:`to_dict` (states, initial,
+  final, alphabet, explicit transition triples), and
+* the integer-dense format of :func:`dense_to_dict` — bitset masks and
+  per-symbol successor rows straight out of
+  :class:`repro.automata.dense.DenseNfa`.  Python's arbitrary-precision ints
+  are JSON numbers, so masks serialise directly.  Deserialising a dense
+  payload goes through the global intern table: loading the same automaton
+  twice (even across sessions of the same process) yields the *same*
+  canonical ``Nfa`` object, which is what lets worker processes share
+  normalised automata cheaply.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from .dense import DenseNfa, as_dense, intern_nfa
 from .nfa import EPSILON, Nfa
 
 
@@ -26,7 +40,10 @@ def to_dict(nfa: Nfa) -> Dict[str, Any]:
 
 
 def from_dict(data: Dict[str, Any]) -> Nfa:
-    """Reconstruct an :class:`Nfa` from :func:`to_dict` output."""
+    """Reconstruct an :class:`Nfa` from :func:`to_dict` or
+    :func:`dense_to_dict` output (the payload self-describes its format)."""
+    if data.get("format") == "dense":
+        return dense_from_dict(data)
     nfa = Nfa(data.get("alphabet", []))
     for state in data["states"]:
         nfa.add_state(state)
@@ -37,6 +54,52 @@ def from_dict(data: Dict[str, Any]) -> Nfa:
     for src, symbol, dst in data["transitions"]:
         nfa.add_transition(src, symbol if symbol != "" else EPSILON, dst)
     return nfa
+
+
+def dense_to_dict(automaton) -> Dict[str, Any]:
+    """Serialise either automaton form as its integer-dense structure.
+
+    The payload is the canonical-key content of the dense form: state count,
+    declared alphabet, used symbols, initial/final bitset masks and the
+    per-symbol successor-mask rows (plus the ε rows when present).  State
+    identity is positional — original facade state ids are deliberately not
+    recorded, so structurally identical automata serialise identically.
+    """
+    dense = as_dense(automaton)
+    payload: Dict[str, Any] = {
+        "format": "dense",
+        "n": dense.n,
+        "alphabet": sorted(dense.alphabet),
+        "symbols": list(dense.symbols),
+        "initial": dense.initial,
+        "final": dense.final,
+        "rows": [list(row) for row in dense.rows],
+    }
+    if dense.eps is not None:
+        payload["eps"] = list(dense.eps)
+    return payload
+
+
+def dense_from_dict(data: Dict[str, Any]) -> Nfa:
+    """Reconstruct the canonical interned :class:`Nfa` from
+    :func:`dense_to_dict` output.
+
+    The result is hash-consed: two loads of the same structure return the
+    same object (``is``-identical), matching what :func:`intern_nfa` returns
+    for a live automaton with that structure.
+    """
+    eps = data.get("eps")
+    dense = DenseNfa(
+        data["n"],
+        tuple(data["alphabet"]),
+        tuple(data["symbols"]),
+        tuple(tuple(row) for row in data["rows"]),
+        tuple(eps) if eps is not None else None,
+        data["initial"],
+        data["final"],
+        tuple(range(data["n"])),
+    )
+    return intern_nfa(dense)
 
 
 def to_dot(nfa: Nfa, name: str = "nfa") -> str:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..budget import checkpoint
 from ..lia import Formula, LinExpr, conj, disj, eq, ge, iff, implies, le, var
 from .tag_automaton import TagAutomaton, TagTransition
 from .tags import Tag
@@ -127,6 +128,9 @@ def encode(automaton: TagAutomaton, prefix: str = "") -> ParikhEncoding:
 
     # (37)–(39) φ_Span: connectivity via spanning-tree depths.
     for state in sorted(automaton.states):
+        # One budget step per state: the spanning-tree constraints dominate
+        # the encoding (one disjunction over the incoming transitions each).
+        checkpoint("parikh.encode")
         sigma = var(enc.sigma(state))
         gi = var(enc.gamma_initial(state))
         parts.append(iff(eq(sigma, 0), eq(gi, 1)))

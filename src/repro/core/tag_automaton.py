@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..automata.dense import as_nfa
 from ..automata.nfa import EPSILON, Nfa
 from .tags import Tag, length_tag, symbol_tag
 
@@ -95,12 +96,14 @@ class TagAutomaton:
         )
 
 
-def len_tag(nfa: Nfa, variable: str) -> TagAutomaton:
+def len_tag(nfa, variable: str) -> TagAutomaton:
     """``LenTag_x(A)`` (§4): tag every transition with ⟨S, a⟩ and ⟨L, x⟩.
 
-    Epsilon transitions of the input NFA are not supported (variable automata
-    are ε-free after regex compilation); they would break length counting.
+    Accepts either automaton form.  Epsilon transitions of the input are not
+    supported (variable automata are ε-free after regex compilation); they
+    would break length counting.
     """
+    nfa = as_nfa(nfa)
     ta = TagAutomaton()
     for state in nfa.states:
         ta.add_state(state)

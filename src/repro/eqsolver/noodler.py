@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from ..automata import intersection, remove_epsilon
+from ..automata import intersection, intersection_empty, remove_epsilon
 from ..automata.minimization import minimize
 from ..automata.nfa import EPSILON, Nfa
 from ..budget import checkpoint
@@ -137,6 +137,11 @@ def noodlify_assignment(
     initials = sorted(target.initial)
     finals = sorted(target.final)
     boundary_choices = [initials] + [target_states] * (len(parts) - 1) + [finals]
+    # Per-boundary segments are dense endpoint views: same rows (and cached
+    # closures) as the target, only the initial/final masks differ — no
+    # per-assignment copy of the whole target automaton.
+    target_dense = target.dense()
+    state_bit = {state: 1 << i for state, i in target_dense.index.items()}
 
     noodles: List[Dict[str, Nfa]] = []
     for assignment in product(*boundary_choices):
@@ -146,9 +151,9 @@ def noodlify_assignment(
         refinement: Dict[str, Nfa] = {}
         feasible = True
         for index, (name, part_nfa) in enumerate(zip(names, part_automata)):
-            segment = target.copy()
-            segment.initial = {assignment[index]}
-            segment.final = {assignment[index + 1]}
+            segment = target_dense.with_endpoints(
+                state_bit[assignment[index]], state_bit[assignment[index + 1]]
+            )
             refined = intersection(part_nfa, segment).trim()
             if not refined.states:
                 if assignment[index] == assignment[index + 1] and part_nfa.accepts(""):
@@ -218,9 +223,10 @@ def _refuted_by_consequences(
                     one, other = automata.get(left[0]), automata.get(right[0])
                     if one is None or other is None:
                         continue
-                    if not intersection(one, other).trim().states and not (
-                        one.accepts("") and other.accepts("")
-                    ):
+                    # Lazy consequence check: emptiness of the product is
+                    # decided on the fly (first accepting pair), without
+                    # materialising the intersection.
+                    if intersection_empty(one, other):
                         return True
     return False
 

@@ -188,11 +188,14 @@ class Session:
         return self._last.model
 
     def statistics(self) -> Dict[str, int]:
-        """Cumulative counters: pipeline cache reuse plus LIA solve stats."""
+        """Cumulative counters: pipeline cache reuse plus LIA solve stats.
+
+        The automata-layer entries (``automata_cache_*``, the dense
+        compilation and interning counters) accumulate from the per-check
+        deltas each :class:`~repro.solver.result.SolveResult` reports in
+        ``stats`` — the same numbers, summed over this session's checks.
+        """
         stats = dict(self._pipeline.counters)
-        cache = self._pipeline.normalization_cache
-        stats["automata_cache_hits"] = cache.hits
-        stats["automata_cache_misses"] = cache.misses
         for key, value in self._cumulative.items():
             stats[key] = stats.get(key, 0) + value
         return stats

@@ -74,6 +74,7 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
+from ..automata.dense import stats_snapshot as dense_stats_snapshot
 from ..automata.enumeration import is_finite, shortest_word, words_up_to
 from ..automata.nfa import Nfa
 from ..core.notcontains import NotContainsEncoder, base_transition_counts, find_failing_offset
@@ -243,6 +244,7 @@ class IncrementalPipeline:
             "lia_parts_reused": 0,
             "distinct_shortcuts": 0,
             "reduction_cases": 0,
+            "ncontains_vacuous": 0,
         }
 
     # ------------------------------------------------------------------
@@ -275,6 +277,12 @@ class IncrementalPipeline:
         watch = budget if budget is not None else Budget(
             self.config.timeout, max_steps=self.config.max_steps
         )
+        # Snapshot the automata-layer counters so the per-check deltas
+        # (dense compilations, interning and normalisation-cache traffic)
+        # can be reported through ``SolveResult.stats``.
+        dense_before = dense_stats_snapshot()
+        cache_hits_before = self.normalization_cache.hits
+        cache_misses_before = self.normalization_cache.misses
         try:
             with watch.activate():
                 if needs_reduction(problem):
@@ -307,6 +315,18 @@ class IncrementalPipeline:
             )
         for key, value in watch.stats_snapshot().items():
             result.stats[key] = result.stats.get(key, 0) + value
+        for key, value in dense_stats_snapshot().items():
+            result.stats[key] = result.stats.get(key, 0) + value - dense_before[key]
+        result.stats["automata_cache_hits"] = (
+            result.stats.get("automata_cache_hits", 0)
+            + self.normalization_cache.hits
+            - cache_hits_before
+        )
+        result.stats["automata_cache_misses"] = (
+            result.stats.get("automata_cache_misses", 0)
+            + self.normalization_cache.misses
+            - cache_misses_before
+        )
         return result
 
     def _check_extended(self, problem: Problem, watch: Budget) -> SolveResult:
@@ -591,12 +611,58 @@ class IncrementalPipeline:
                     StrAt(target[0], branch.expand_term(predicate.haystack), predicate.index, predicate.negated)
                 )
             elif isinstance(predicate, NotContains):
-                contains.append(
-                    NotContains(branch.expand_term(predicate.needle), branch.expand_term(predicate.haystack))
+                expanded = NotContains(
+                    branch.expand_term(predicate.needle), branch.expand_term(predicate.haystack)
                 )
+                if self._ncontains_vacuous(expanded, automata, normal_form.alphabet):
+                    self.counters["ncontains_vacuous"] += 1
+                    continue
+                contains.append(expanded)
             else:  # pragma: no cover - defensive
                 return None, None, automata, f"unsupported predicate {predicate!r}"
         return regular, contains, automata, ""
+
+    #: per-side state cap for the vacuity pre-pass below; beyond it the
+    #: concatenations (and the lazy product walk over them) stop being
+    #: obviously cheaper than just encoding the predicate
+    _NCONTAINS_VACUITY_LIMIT = 64
+
+    def _ncontains_vacuous(
+        self,
+        predicate: NotContains,
+        automata: Dict[str, Nfa],
+        alphabet: Tuple[str, ...],
+    ) -> bool:
+        """Sound vacuity pre-pass for one ``¬contains`` predicate.
+
+        Over-approximate the reachable violations: if even
+        ``L(h₁)⋯L(h_m)  ∩  Σ*·L(n₁)⋯L(n_k)·Σ*`` is empty — ignoring that
+        shared variables correlate the two sides, which only shrinks the
+        real solution set — then no assignment makes the haystack contain
+        the needle, so the predicate holds vacuously and need not be
+        encoded.  Decided by the lazy first-accepting-pair product walk;
+        nothing is materialised beyond the two concatenations.
+        """
+        if not alphabet:
+            return False
+        from ..automata import concat, intersection_empty
+
+        total = 0
+        for name in predicate.needle + predicate.haystack:
+            nfa = automata.get(name)
+            if nfa is None:
+                return False
+            total += len(nfa.states)
+            if total > self._NCONTAINS_VACUITY_LIMIT:
+                return False
+        haystack = Nfa.epsilon_language()
+        for name in predicate.haystack:
+            haystack = concat(haystack, automata[name])
+        pattern = Nfa.universal(alphabet)
+        for name in predicate.needle:
+            pattern = concat(pattern, automata[name])
+        pattern = concat(pattern, Nfa.universal(alphabet))
+        return intersection_empty(haystack, pattern)
 
     def _prepare_component(
         self,
@@ -1079,7 +1145,10 @@ class IncrementalPipeline:
         # Variables not constrained by any predicate still need a non-empty
         # language; they receive their shortest word in the final model.
         for name in remaining:
-            if automata[name].trim().is_empty() and not automata[name].accepts(""):
+            # Emptiness straight off the dense reachability mask — no trimmed
+            # copy is materialised (and ε-acceptance is part of emptiness:
+            # an initial-and-final state is always useful).
+            if automata[name].is_empty():
                 return _BranchOutcome(
                     Status.UNSAT,
                     participant_vars=self._close_participants({name}, branch),

@@ -36,7 +36,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..automata import compile_regex, complement, intersection, remove_epsilon
+from ..automata import (
+    compile_regex,
+    complement,
+    intern_nfa,
+    intersection,
+    intersection_empty,
+    remove_epsilon,
+)
 from ..automata.nfa import Nfa
 from ..budget import checkpoint
 from ..core.predicates import (
@@ -187,7 +194,7 @@ class _Normalizer:
         nfa = self.cache.words.get(value)
         if nfa is None:
             self.cache.misses += 1
-            nfa = Nfa.from_word(value)
+            nfa = intern_nfa(Nfa.from_word(value))
             self.cache.store(self.cache.words, value, nfa)
         else:
             self.cache.hits += 1
@@ -230,6 +237,10 @@ class _Normalizer:
         nfa = language if isinstance(language, Nfa) else compile_regex(language, self.alphabet)
         if not positive:
             nfa = complement(nfa, self.alphabet)
+        if not (isinstance(language, Nfa) and positive):
+            # Hash-cons the automata we build ourselves (compiled regexes,
+            # complements); user-supplied Nfa objects keep their identity.
+            nfa = intern_nfa(nfa)
         if self.cache is not None:
             self.cache.store(self.cache.languages, key, nfa)
         return key, nfa
@@ -324,11 +335,11 @@ class _Normalizer:
                 if self.cache is not None:
                     universal = self.cache.universal.get(self.alphabet)
                     if universal is None:
-                        universal = Nfa.universal(self.alphabet)
+                        universal = intern_nfa(Nfa.universal(self.alphabet))
                         self.cache.universal[self.alphabet] = universal
                     automata[name] = universal
                 else:
-                    automata[name] = Nfa.universal(self.alphabet)
+                    automata[name] = intern_nfa(Nfa.universal(self.alphabet))
                 continue
             automata[name] = self._intersect([key for key, _ in constraints],
                                              [nfa for _, nfa in constraints])
@@ -362,10 +373,22 @@ class _Normalizer:
             self.cache.misses += 1
         combined = nfas[0]
         for extra in nfas[1:]:
+            # Guard pruning: decide emptiness lazily (first-accepting-pair
+            # walk) before materialising the product — an empty chain never
+            # allocates a single product state.
+            if intersection_empty(combined, extra):
+                combined = None
+                break
             combined = intersection(combined, extra)
-        combined = remove_epsilon(combined).trim() if combined.has_epsilon() else combined.trim()
-        if not combined.states:
+        if combined is None:
             combined = Nfa.empty_language()
+        else:
+            combined = (
+                remove_epsilon(combined).trim() if combined.has_epsilon() else combined.trim()
+            )
+            if not combined.states:
+                combined = Nfa.empty_language()
+        combined = intern_nfa(combined)
         if self.cache is not None:
             self.cache.store(self.cache.intersections, cache_key, combined)
         return combined

@@ -1,0 +1,257 @@
+"""Differential tests for the integer-dense automata core.
+
+Randomized NFAs (with ε-loops, dead states, and >64-state blocks that force
+multi-word bitsets) are run through both the dense implementations in
+``repro.automata.operations``/``repro.automata.dense`` and the pre-rewrite
+set-based oracles kept in ``repro.automata.legacy``; languages and verdicts
+must coincide.  Serialization round-trips and the interning-identity
+contract are covered at the end.
+"""
+
+import random
+
+import pytest
+
+from repro.automata import legacy as leg
+from repro.automata import operations as ops
+from repro.automata.dense import (
+    DenseNfa,
+    as_dense,
+    as_nfa,
+    intern_nfa,
+    iter_bits,
+    product_is_empty,
+)
+from repro.automata.enumeration import count_words_of_length, words_up_to
+from repro.automata.minimization import canonical_signature, minimize
+from repro.automata.nfa import EPSILON, Nfa
+from repro.automata.serialization import dense_from_dict, dense_to_dict, from_dict, to_dict
+from repro.budget import Budget, BudgetExceeded
+
+
+def random_nfa(rng, n_states, symbols="ab", eps_prob=0.15, density=3.0):
+    """A random NFA: ε-loops and dead states arise naturally from sparsity."""
+    nfa = Nfa(set(symbols))
+    states = [nfa.add_state() for _ in range(n_states)]
+    for _ in range(rng.randint(1, int(density * n_states))):
+        src, dst = rng.choice(states), rng.choice(states)
+        if rng.random() < eps_prob:
+            nfa.add_transition(src, EPSILON, dst)
+        else:
+            nfa.add_transition(src, rng.choice(symbols), dst)
+    for _ in range(rng.randint(1, 2)):
+        nfa.make_initial(rng.choice(states))
+    for _ in range(rng.randint(1, 2)):
+        nfa.make_final(rng.choice(states))
+    return nfa
+
+
+def language(nfa, max_length=4):
+    return set(words_up_to(nfa, max_length))
+
+
+# ----------------------------------------------------------------------
+# Differential properties on small random automata
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(40))
+def test_differential_small(seed):
+    rng = random.Random(seed)
+    a = random_nfa(rng, rng.randint(2, 8))
+    b = random_nfa(rng, rng.randint(2, 8))
+
+    assert language(ops.remove_epsilon(a)) == language(leg.legacy_remove_epsilon(a))
+
+    dense_dfa, dense_map = ops.determinize(a, "ab")
+    legacy_dfa, legacy_map = leg.legacy_determinize(a, "ab")
+    assert language(dense_dfa) == language(legacy_dfa)
+    # The subset map's key set is the same (values are numberings).
+    assert set(dense_map) == set(legacy_map)
+    # The DFA is complete and deterministic over the requested alphabet.
+    for state in dense_dfa.states:
+        for symbol in "ab":
+            assert len(dense_dfa.successors(state, symbol)) == 1
+
+    assert language(ops.intersection(a, b)) == language(leg.legacy_intersection(a, b))
+    assert ops.intersection_empty(a, b) == leg.legacy_intersection_empty(a, b)
+    assert ops.is_subset(a, b, "ab") == leg.legacy_is_subset(a, b, "ab")
+    assert a.is_empty() == leg.legacy_is_empty(a)
+    assert language(a.trim()) == language(leg.legacy_trim(a))
+    assert language(ops.complement(a, "ab"), 3) == language(leg.legacy_complement(a, "ab"), 3)
+    for word in ("", "a", "b", "ab", "ba", "aab", "bab"):
+        assert a.accepts(word) == leg.legacy_accepts(a, word)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_differential_large_blocks(seed):
+    """>64 states: bitsets span multiple machine words."""
+    rng = random.Random(1000 + seed)
+    a = random_nfa(rng, rng.randint(70, 100), density=2.0)
+    b = random_nfa(rng, rng.randint(70, 100), density=2.0)
+    assert a.dense().n > 64
+
+    assert a.is_empty() == leg.legacy_is_empty(a)
+    assert a.reachable_states() == leg.legacy_reachable_states(a)
+    assert a.coreachable_states() == leg.legacy_coreachable_states(a)
+    assert language(a.trim(), 3) == language(leg.legacy_trim(a), 3)
+    assert ops.intersection_empty(a, b) == leg.legacy_intersection_empty(a, b)
+    assert language(ops.remove_epsilon(a), 3) == language(leg.legacy_remove_epsilon(a), 3)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_differential_parikh_style_counts(seed):
+    """Word counts per length (the Parikh-image proxy the oracle uses)."""
+    rng = random.Random(2000 + seed)
+    a = random_nfa(rng, rng.randint(2, 7))
+    legacy_dfa, _ = leg.legacy_determinize(a, a.alphabet or {"a"})
+    for length in range(4):
+        expected = sum(1 for w in set(words_up_to(legacy_dfa, 4)) if len(w) == length)
+        assert count_words_of_length(a, length) == expected
+
+
+def test_minimize_and_signature_agree_with_language():
+    rng = random.Random(42)
+    for _ in range(15):
+        a = random_nfa(rng, rng.randint(2, 7))
+        minimal = minimize(a, "ab")
+        assert language(minimal) == language(a)
+        b = ops.union(a, Nfa.empty_language())
+        assert canonical_signature(a, "ab") == canonical_signature(b, "ab")
+
+
+# ----------------------------------------------------------------------
+# Dense form specifics
+# ----------------------------------------------------------------------
+def test_with_endpoints_matches_segment_copy():
+    rng = random.Random(7)
+    nfa = leg.legacy_remove_epsilon(random_nfa(rng, 6))
+    dense = nfa.dense()
+    states = sorted(nfa.states)
+    for src in states[:3]:
+        for dst in states[:3]:
+            view = dense.with_endpoints(
+                1 << dense.index[src], 1 << dense.index[dst]
+            )
+            segment = nfa.copy()
+            segment.initial = {src}
+            segment.final = {dst}
+            assert language(as_nfa(view)) == language(segment)
+
+
+def test_product_is_empty_epsilon_word():
+    # Both sides accept exactly ε through different structures.
+    left = Nfa.epsilon_language()
+    right = Nfa.from_word("")
+    assert not product_is_empty(left, right)
+    assert not product_is_empty(as_dense(left), as_dense(right))
+
+
+def test_dense_cache_invalidated_on_mutation():
+    nfa = Nfa.from_word("ab")
+    assert nfa.accepts("ab")
+    first = nfa.dense()
+    state = nfa.add_state()
+    nfa.make_final(state)
+    assert nfa.dense() is not first
+    # Direct endpoint assignment (the noodler segment idiom) must also
+    # invalidate — including on copies sharing the dense form.
+    clone = nfa.copy()
+    clone.initial = set(nfa.final)
+    assert clone.dense() is not nfa.dense()
+
+
+def test_budget_steps_bound_dense_determinize():
+    # An automaton whose subset construction explodes must hit the step
+    # limit instead of running to completion.
+    rng = random.Random(3)
+    nfa = random_nfa(rng, 14, symbols="ab", eps_prob=0.0, density=6.0)
+    budget = Budget(None, max_steps=5)
+    with budget.activate():
+        with pytest.raises(BudgetExceeded):
+            ops.determinize(nfa, "ab")
+
+
+def test_step_limit_determinism():
+    """Same step cap ⇒ same failure point, run after run."""
+    rng = random.Random(5)
+    nfa = random_nfa(rng, 12, eps_prob=0.0, density=6.0)
+
+    def steps_at_failure(cap):
+        budget = Budget(None, max_steps=cap)
+        with budget.activate():
+            try:
+                ops.determinize(nfa.copy(), "ab")
+            except BudgetExceeded:
+                return ("exceeded", budget.steps)
+        return ("done", budget.steps)
+
+    assert steps_at_failure(7) == steps_at_failure(7)
+    assert steps_at_failure(50) == steps_at_failure(50)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+# ----------------------------------------------------------------------
+def test_transition_list_roundtrip_unchanged():
+    rng = random.Random(11)
+    nfa = random_nfa(rng, 5)
+    back = from_dict(to_dict(nfa))
+    assert language(back) == language(nfa)
+
+
+def test_dense_roundtrip_is_interned():
+    rng = random.Random(13)
+    nfa = random_nfa(rng, 6)
+    payload = dense_to_dict(nfa)
+    loaded = from_dict(payload)
+    assert language(loaded) == language(nfa)
+    # Loading twice yields the same canonical object...
+    assert from_dict(dense_to_dict(nfa)) is loaded
+    # ...which is exactly what interning the live automaton returns.
+    assert intern_nfa(nfa) is loaded
+    assert dense_from_dict(payload) is loaded
+
+
+def test_dense_payload_is_json_compatible():
+    import json
+
+    rng = random.Random(17)
+    nfa = random_nfa(rng, 80, density=2.0)  # multi-word masks
+    payload = dense_to_dict(nfa)
+    wire = json.dumps(payload)
+    assert language(from_dict(json.loads(wire)), 3) == language(nfa, 3)
+
+
+# ----------------------------------------------------------------------
+# Interning contract
+# ----------------------------------------------------------------------
+def test_interning_identity_modulo_renaming():
+    rng = random.Random(19)
+    nfa = random_nfa(rng, 6)
+    renamed, _ = nfa.renumbered(100)
+    assert intern_nfa(nfa) is intern_nfa(renamed)
+    assert intern_nfa(nfa) is intern_nfa(nfa.copy())
+
+
+def test_interning_distinguishes_declared_alphabet():
+    # Same structure, different declared alphabet: complementation differs,
+    # so these must NOT be identified.
+    a = Nfa.from_word("a")
+    b = Nfa.from_word("a")
+    b_wide = ops.union(b, Nfa.empty_language())
+    b_wide._alphabet.add("c")
+    assert intern_nfa(a) is not intern_nfa(b_wide)
+
+
+def test_interned_canonical_key_matches_dense():
+    rng = random.Random(23)
+    nfa = random_nfa(rng, 5)
+    canonical = intern_nfa(nfa)
+    assert canonical.dense().canonical_key() == nfa.dense().canonical_key()
+    assert isinstance(canonical.dense(), DenseNfa)
+
+
+def test_iter_bits():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b1011)) == [0, 1, 3]
+    big = (1 << 200) | (1 << 64) | 1
+    assert list(iter_bits(big)) == [0, 64, 200]
