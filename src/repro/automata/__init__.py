@@ -29,7 +29,7 @@ from .operations import (
     star,
     union,
 )
-from .serialization import from_dict, to_dict
+from .serialization import from_dict, intern_restore, intern_snapshot, to_dict
 from .regex import DEFAULT_ALPHABET, RegexError, compile_regex, parse
 from .flatness import is_flat, strongly_connected_components
 from .enumeration import count_words_of_length, is_finite, shortest_word, words_up_to
@@ -45,6 +45,8 @@ __all__ = [
     "intersection_empty",
     "to_dict",
     "from_dict",
+    "intern_snapshot",
+    "intern_restore",
     "union",
     "concat",
     "star",

@@ -21,7 +21,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from .dense import DenseNfa, as_dense, intern_nfa
+from .dense import (
+    DenseNfa,
+    as_dense,
+    intern_mark_warm,
+    intern_nfa,
+    intern_table_entries,
+)
 from .nfa import EPSILON, Nfa
 
 
@@ -100,6 +106,35 @@ def dense_from_dict(data: Dict[str, Any]) -> Nfa:
         tuple(range(data["n"])),
     )
     return intern_nfa(dense)
+
+
+def intern_snapshot(limit: int = 1024) -> List[Dict[str, Any]]:
+    """Serialise the process-wide intern table as a warm-start payload.
+
+    The payload is a list of :func:`dense_to_dict` dictionaries — pure
+    JSON/pickle-friendly data, the wire format the solver server ships to
+    its worker fleet.  ``limit`` caps the payload (oldest entries first:
+    the table is insertion-ordered and the base alphabet/word automata are
+    interned before the derived products built on top of them).
+    """
+    return [dense_to_dict(nfa) for nfa in intern_table_entries()[:limit]]
+
+
+def intern_restore(payload: List[Dict[str, Any]]) -> int:
+    """Re-intern a warm-start payload and flag the entries as warm-seeded.
+
+    Returns the number of automata restored.  Subsequent interning hits on
+    the restored entries count into the ``automata_interning_warm_hits``
+    statistic (reported through ``SolveResult.stats`` and accumulated by
+    ``Session.statistics()``), which is how a worker proves it is reusing
+    the shared automata instead of rebuilding them.
+    """
+    restored = 0
+    for data in payload:
+        dense_from_dict(data)
+        restored += 1
+    intern_mark_warm()
+    return restored
 
 
 def to_dot(nfa: Nfa, name: str = "nfa") -> str:

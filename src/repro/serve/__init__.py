@@ -1,0 +1,38 @@
+"""``repro.serve`` — the async portfolio solver server.
+
+The one-request-one-session architecture of :class:`repro.Session` scales
+to concurrent traffic here: an asyncio front door accepts SMT-LIB jobs
+over a JSON-lines TCP protocol (or as raw scripts), dispatches them to a
+process worker fleet with warm per-worker automata caches, races
+complementary solver configurations per job (first *sound* verdict wins,
+losers cancelled across the process boundary through the budget hook) and
+dedups structurally identical in-flight jobs.
+
+Entry points:
+
+* ``python -m repro.serve`` — run a server,
+* ``python -m repro.smtlib --server HOST:PORT`` — submit scripts to one,
+* :class:`~repro.serve.client.ServeClient` — programmatic access,
+* ``benchmarks/perf/bench_serve.py`` — the latency-under-load benchmark.
+"""
+
+from .client import ServeClient, ServeError, parse_host_port
+from .portfolio import DEFAULT_PORTFOLIO, STRATEGIES, config_for, strategy_names
+from .protocol import JobOutcome, JobSpec, dedup_key
+from .server import SolverServer, build_warm_payload, run_server
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "parse_host_port",
+    "DEFAULT_PORTFOLIO",
+    "STRATEGIES",
+    "config_for",
+    "strategy_names",
+    "JobOutcome",
+    "JobSpec",
+    "dedup_key",
+    "SolverServer",
+    "build_warm_payload",
+    "run_server",
+]

@@ -41,12 +41,28 @@ def main(argv: List[str] = None) -> int:
         "--stats", action="store_true",
         help="print the session's cumulative statistics after each script",
     )
+    parser.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="submit the scripts to a running 'python -m repro.serve' server "
+        "instead of solving in-process (verdict-identical by construction: "
+        "the server runs the same ScriptRunner in its workers)",
+    )
     args = parser.parse_args(argv)
 
     config = SolverConfig(timeout=args.timeout)
     failures = 0
     internal_errors = 0
     prefix_names = len(args.files) > 1
+    client = None
+    if args.server is not None:
+        from ..serve import ServeClient, ServeError, parse_host_port
+
+        try:
+            host, port = parse_host_port(args.server)
+            client = ServeClient(host, port)
+        except ServeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     try:
         for path in args.files:
             try:
@@ -65,6 +81,33 @@ def main(argv: List[str] = None) -> int:
                     print(f"{path}: {line}")
                 else:
                     print(line)
+
+            if client is not None:
+                from ..serve import ServeError
+
+                try:
+                    response = client.solve(text, name=path, timeout=args.timeout)
+                except ServeError as error:
+                    print(f"error: {path}: {error}", file=sys.stderr)
+                    failures += 1
+                    continue
+                if not response.get("ok", False):
+                    print(
+                        f"error: {path}: {response.get('error', 'server error')}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+                    continue
+                for line in response.get("output", []):
+                    emit(line)
+                internal_errors += int(response.get("internal_errors", 0))
+                if args.stats:
+                    rendered = ", ".join(
+                        f"{key}={value}"
+                        for key, value in sorted(response.get("stats", {}).items())
+                    )
+                    print(f"; stats: {rendered}", file=sys.stderr)
+                continue
 
             runner = ScriptRunner(config=config, out=emit)
             try:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from ..budget import Budget
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..solver import Session, SolverConfig
 
@@ -63,12 +65,29 @@ class ScriptRunner:
         self.internal_errors: int = 0
 
     # ------------------------------------------------------------------
-    def run(self, text: str, name: str = "") -> List[str]:
+    def run(
+        self, text: str, name: str = "", budget: Optional[Budget] = None
+    ) -> List[str]:
         """Run one script; returns the output lines (also sent to ``out``)."""
         script = parse_script(text)
-        return self.run_script(script, name=name)
+        return self.run_script(script, name=name, budget=budget)
 
-    def run_script(self, script: SmtScript, name: str = "") -> List[str]:
+    def run_script(
+        self, script: SmtScript, name: str = "", budget: Optional[Budget] = None
+    ) -> List[str]:
+        """Execute ``script``; one output line per answering command.
+
+        ``budget`` is an optional caller-owned :class:`~repro.budget.Budget`
+        **shared by every ``check-sat`` of the script** — the server layer
+        passes one budget covering a whole job, so a script that exhausts it
+        mid-run answers its remaining checks immediately with structured
+        ``unknown`` verdicts instead of burning the deadline once per check.
+        The budget's ``hook`` is also the cross-process cancellation point:
+        a hook that raises :class:`~repro.budget.BudgetExceeded` (e.g. when
+        a portfolio sibling already won) aborts the in-flight check with an
+        ``interrupted`` reason.  Without a budget each check runs under the
+        session config's own timeout, as before.
+        """
         # Imported lazily: repro.strings re-exports this module's package,
         # and repro.solver imports repro.strings — a module-level import
         # here would close that cycle.
@@ -117,7 +136,7 @@ class ScriptRunner:
                 except (IndexError, ValueError) as error:
                     raise SmtLibError(str(error))
             elif isinstance(command, CheckSat):
-                result = session.check()
+                result = session.check(budget=budget)
                 verdict = result.status.value
                 if result.status is Status.TIMEOUT:
                     verdict = "unknown"

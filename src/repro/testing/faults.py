@@ -25,6 +25,7 @@ solver would.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -58,8 +59,11 @@ class FaultSpec:
     at: int = 1
     #: ``"raise"`` (InjectedFault), ``"exhaust"`` (BudgetExceeded, as if the
     #: budget ran out here), ``"interrupt"`` (KeyboardInterrupt, as if the
-    #: user hit Ctrl-C mid-stage) or ``"delay"`` (sleep ``delay`` seconds —
-    #: stretches a stage past a real deadline without raising)
+    #: user hit Ctrl-C mid-stage), ``"delay"`` (sleep ``delay`` seconds —
+    #: stretches a stage past a real deadline without raising) or
+    #: ``"kill"`` (``os._exit`` — the process dies on the spot, no cleanup;
+    #: the worker-death chaos of the server fleet tests.  Never schedule it
+    #: in-process: the test run itself would die)
     action: str = "raise"
     #: seconds slept by ``action="delay"``
     delay: float = 0.0
@@ -84,6 +88,11 @@ class FaultSpec:
         if self.action == "delay":
             time.sleep(self.delay)
             return
+        if self.action == "kill":
+            # Simulated hard crash (OOM-kill, segfault): bypass every
+            # finally/except on the way out.  86 is arbitrary but
+            # recognisable in worker-death logs.
+            os._exit(86)
         raise ValueError(f"unknown fault action {self.action!r}")
 
 

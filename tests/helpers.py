@@ -51,3 +51,68 @@ def solve_lia(formula, timeout: float = 30.0):
     result = LiaSolver(LiaConfig(timeout=timeout)).check(formula)
     assert result.status is not LiaStatus.UNKNOWN, f"LIA solver gave up: {result.reason}"
     return result
+
+
+class ServeServerProc:
+    """A ``python -m repro.serve`` subprocess for server tests.
+
+    Boots on an ephemeral port, parses the ready line, and exposes
+    ``host``/``port`` plus :meth:`stop` (graceful shutdown via the
+    protocol, asserting a clean exit 0 with every worker reaped).
+    """
+
+    def __init__(self, *extra_args: str, timeout: float = 60.0):
+        import os
+        import re
+        import subprocess
+        import sys
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(repo, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=repo,
+            text=True,
+        )
+        ready = self.proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", ready)
+        if not match:
+            self.proc.kill()
+            err = self.proc.stderr.read()
+            raise RuntimeError(f"server did not come up: {ready!r}\n{err}")
+        self.host = match.group(1)
+        self.port = int(match.group(2))
+
+    def client(self, **kwargs):
+        from repro.serve import ServeClient
+
+        return ServeClient(self.host, self.port, **kwargs)
+
+    def stop(self, expect_clean: bool = True) -> int:
+        from repro.serve import ServeError
+
+        try:
+            with self.client(timeout=30.0) as client:
+                client.shutdown()
+        except ServeError:
+            pass  # already shutting down / gone; the wait below decides
+        try:
+            code = self.proc.wait(timeout=30)
+        except Exception:
+            self.proc.kill()
+            raise
+        if expect_clean:
+            assert code == 0, (code, self.proc.stderr.read())
+        return code
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
