@@ -1,0 +1,58 @@
+"""Repo-invariant static analysis (``python -m repro.analysis``).
+
+Every standing invariant this solver depends on is, at run time, enforced
+only by whichever dynamic test happens to trip it: the un-checkpointed
+presolve loop of PR 6 was found by a timeout sweep, the dense-cache
+aliasing bug of PR 7 by the differential suite.  This package turns those
+invariants into *static* rules checked on every push, the same way
+verification tooling encodes system-specific soundness conditions as
+checkable side conditions rather than test luck.
+
+Architecture (one module per box)::
+
+    loader      parse src/repro + tests into ModuleInfo (AST + comments)
+    callgraph   cheap name-based interprocedural "reaches a checkpoint"
+    framework   Rule base class, registry, Finding, suppressions, Report
+    rules/      one module per invariant (see below)
+    report      human and --json renderers
+    __main__    the CLI entry point (exit 0 iff no unsuppressed finding)
+
+The initial ruleset — each rule's docstring names the incident that
+motivated it:
+
+* ``checkpoint-coverage`` — unbounded loops in engine modules must reach
+  :func:`repro.budget.checkpoint` directly or via a callee.
+* ``determinism`` — no wall-clock or ambient-RNG reads outside the budget
+  layer and the serve timing paths.
+* ``cache-discipline`` — no writes to ``Nfa`` internals outside
+  ``automata/nfa.py`` (the managed properties invalidate the dense cache;
+  raw attribute writes silently don't).
+* ``exception-hygiene`` — no bare/blanket exception handlers in engine
+  layers unless they re-raise or convert to a typed ``UnknownReason``.
+* ``async-safety`` — no blocking calls inside ``async def`` bodies.
+* ``spawn-safety`` — nothing unpicklable submitted to the worker fleet.
+
+Findings are suppressed in place with ``# repro: allow(<rule>): <reason>``
+— the reason is mandatory, and a reason-less suppression is itself a
+violation (rule ``suppression``).
+"""
+
+from __future__ import annotations
+
+from .framework import AnalysisError, Finding, Report, Rule, all_rules, rule_names
+from .loader import ModuleInfo, load_modules, repo_root
+from .runner import analyze, analyze_paths
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "ModuleInfo",
+    "Report",
+    "Rule",
+    "all_rules",
+    "analyze",
+    "analyze_paths",
+    "load_modules",
+    "repo_root",
+    "rule_names",
+]

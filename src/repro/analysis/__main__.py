@@ -1,0 +1,110 @@
+"""``python -m repro.analysis`` — the repo-invariant static analyzer CLI.
+
+Exit status:
+
+* ``0`` — no unsuppressed violations (and the runtime budget, if given,
+  was met),
+* ``1`` — violations found, or ``--max-runtime`` exceeded,
+* ``2`` — usage error (unknown rule, unreadable root).
+
+The CI lint job runs ``python -m repro.analysis --json --max-runtime 10``:
+the JSON report carries ``runtime_seconds`` so the budget assertion and
+the recorded number can never drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .framework import AnalysisError, all_rules
+from .loader import DEFAULT_SCAN, repo_root
+from .report import render_human, render_json
+from .runner import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Check the repo's standing invariants statically.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"root-relative directories/files to scan (default: {' '.join(DEFAULT_SCAN)})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root (default: discovered from the package location)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; fnmatch patterns allowed)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also list suppressed findings"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the registered rules and exit"
+    )
+    parser.add_argument(
+        "--max-runtime",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) when the analysis takes longer than this — the "
+        "CI lint job's cheap-enough-to-never-skip gate",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:22s} {rule.description}")
+        return 0
+    root = args.root or repo_root()
+    scan = tuple(args.paths) or DEFAULT_SCAN
+    try:
+        report = analyze_paths(root=root, scan=scan, rule_names=args.rules)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: cannot scan {root!r}: {error}", file=sys.stderr)
+        return 2
+    over_budget = (
+        args.max_runtime is not None and report.runtime_seconds > args.max_runtime
+    )
+    if args.json:
+        payload = report.to_json()
+        if args.max_runtime is not None:
+            payload["max_runtime_seconds"] = args.max_runtime
+            payload["max_runtime_exceeded"] = over_budget
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_human(report, verbose=args.verbose))
+    if over_budget:
+        print(
+            f"error: analysis took {report.runtime_seconds:.2f}s "
+            f"(budget {args.max_runtime:.2f}s) — the analyzer must stay "
+            "cheap enough to never be skipped",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

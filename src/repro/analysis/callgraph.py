@@ -1,0 +1,121 @@
+"""A cheap interprocedural call graph for checkpoint-reachability.
+
+The checkpoint-coverage rule needs to answer one question: *does this loop
+body reach a budget checkpoint?*  Most hot loops call
+:func:`repro.budget.checkpoint` (or ``Budget.checkpoint`` /
+``Budget.check_now``) directly, but several checkpoint through a callee —
+the solver's branch loop checkpoints inside ``_solve_branch``, the
+noodler's segment loop inside the automata layer.  Resolving that needs
+interprocedural reasoning, but nothing close to a real points-to analysis:
+
+* every function/method definition in the scanned tree becomes a node,
+* every call site is recorded by its *callee's final name* (``foo(...)``
+  → ``foo``; ``self._solve_branch(...)`` and ``mod.helper(...)`` → the
+  attribute name), and
+* a name edge links a caller to **every** definition sharing that final
+  name, anywhere in the tree.
+
+This is a deliberate over-approximation (two unrelated methods named
+``step`` alias each other), which for a *lint* errs in the right
+direction: a loop is only flagged when **no** plausible callee chain
+reaches a checkpoint, so false negatives from aliasing are possible but
+false positives are not.  The paper-engine's naming is unambiguous enough
+in practice that the rule still caught every seeded regression in the
+fixture suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from .loader import ModuleInfo
+
+#: final names whose call *is* a budget checkpoint.  ``checkpoint`` covers
+#: both the module-level helper and ``Budget.checkpoint``; ``check_now``
+#: is the interval-free variant used at coarse boundaries.
+CHECKPOINT_NAMES = frozenset({"checkpoint", "check_now"})
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The callee's final name (``a.b.c(...)`` → ``"c"``), if syntactic."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+class CallGraph:
+    """Name-indexed definitions plus transitive checkpoint reachability."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        #: final name -> set of final names each same-named definition calls
+        self._calls_by_name: Dict[str, Set[str]] = {}
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    called = self._calls_by_name.setdefault(node.name, set())
+                    for call in iter_calls(node):
+                        name = call_name(call)
+                        if name is not None:
+                            called.add(name)
+        self._reaches: Dict[str, bool] = {}
+
+    def function_reaches_checkpoint(self, name: str) -> bool:
+        """Can a call to ``name`` transitively hit a checkpoint call?"""
+        cached = self._reaches.get(name)
+        if cached is not None:
+            return cached
+        # Iterative DFS with an in-progress marker so recursion (the
+        # engine's solvers are mutually recursive in places) terminates.
+        seen: Set[str] = set()
+        stack: List[str] = [name]
+        reachable = False
+        while stack:
+            current = stack.pop()
+            if current in CHECKPOINT_NAMES:
+                reachable = True
+                break
+            if current in seen:
+                continue
+            seen.add(current)
+            known = self._reaches.get(current)
+            if known is True:
+                reachable = True
+                break
+            if known is False:
+                continue
+            stack.extend(self._calls_by_name.get(current, ()))
+        if reachable:
+            # Only the query name is known-positive; other visited names
+            # may have been abandoned mid-search when the hit was found.
+            self._reaches[name] = True
+        else:
+            # An exhausted search proves every visited name negative.
+            for visited in seen:
+                self._reaches[visited] = False
+        return reachable
+
+    def node_reaches_checkpoint(self, node: ast.AST) -> bool:
+        """Does any call inside ``node``'s subtree reach a checkpoint?
+
+        Direct hits (``checkpoint(...)``, ``watch.check_now(...)``) count
+        immediately; every other call is resolved through the name graph.
+        """
+        for call in iter_calls(node):
+            name = call_name(call)
+            if name is None:
+                continue
+            if name in CHECKPOINT_NAMES:
+                return True
+            if self.function_reaches_checkpoint(name):
+                return True
+        return False

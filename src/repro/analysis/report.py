@@ -1,0 +1,37 @@
+"""Render an analysis :class:`~repro.analysis.framework.Report`."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .framework import Report
+
+
+def render_human(report: Report, verbose: bool = False) -> str:
+    """The terminal report: one line per violation, then a summary."""
+    lines: List[str] = []
+    for finding in report.unsuppressed:
+        lines.append(f"{finding.location()}: [{finding.rule}] {finding.message}")
+    if verbose and report.suppressed:
+        lines.append("")
+        lines.append("suppressed:")
+        for finding in report.suppressed:
+            lines.append(
+                f"  {finding.location()}: [{finding.rule}] {finding.message} "
+                f"(allowed: {finding.suppression_reason})"
+            )
+    summary = (
+        f"{len(report.unsuppressed)} violation"
+        f"{'' if len(report.unsuppressed) == 1 else 's'} "
+        f"({len(report.suppressed)} suppressed) in {report.files_scanned} files "
+        f"[{report.runtime_seconds:.2f}s, rules: {', '.join(report.rules_run)}]"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

@@ -1,0 +1,14 @@
+"""The initial ruleset — importing this package populates the registry.
+
+Registration order is report order; keep the meta ``suppression`` rule
+first so malformed allow-comments are always surfaced before the findings
+they failed to suppress.
+"""
+
+from . import meta  # noqa: F401  (suppression hygiene)
+from . import checkpoints  # noqa: F401
+from . import determinism  # noqa: F401
+from . import cache_discipline  # noqa: F401
+from . import exceptions  # noqa: F401
+from . import async_safety  # noqa: F401
+from . import spawn_safety  # noqa: F401

@@ -1,0 +1,140 @@
+"""Rule ``determinism``: no ambient clock or RNG reads in the engine.
+
+The solver's reproducibility contract (and the whole PR-6 step-accounting
+design) assumes a check's behaviour is a pure function of the problem,
+the config and the budget: wall-clock time enters **only** through
+:class:`repro.budget.Budget` (whose clock is injectable for tests), and
+randomness **only** through explicitly seeded ``random.Random(seed)``
+instances (the benchgen generators, the chaos schedules).  A stray
+``time.monotonic()`` read makes step-limit runs machine-dependent; an
+unseeded RNG makes a differential failure unreproducible.
+
+Flagged:
+
+* clock reads — ``time.time/monotonic/perf_counter/...`` (and their
+  ``_ns`` variants, ``datetime.now/utcnow/today``), including when
+  imported via ``from time import monotonic``;
+* ambient RNG — any ``random.<fn>()`` module-level call (these share the
+  process-global, entropy-seeded generator), and ``random.Random()``
+  constructed *without* a seed argument.
+
+Allowed without suppression: ``budget.py`` (the one sanctioned clock) and
+``serve/`` (job timing against client-visible wall deadlines is that
+layer's purpose).  Everything else needs a written
+``# repro: allow(determinism): ...`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from ..framework import Context, Finding, Rule, register
+from ..loader import ModuleInfo
+
+CLOCK_READS = frozenset(
+    {
+        "time",
+        "monotonic",
+        "perf_counter",
+        "process_time",
+        "thread_time",
+        "time_ns",
+        "monotonic_ns",
+        "perf_counter_ns",
+        "process_time_ns",
+        "thread_time_ns",
+    }
+)
+DATETIME_READS = frozenset({"now", "utcnow", "today"})
+#: the only ``random`` attribute that may be called: a *seeded* Random
+RANDOM_CTOR = "Random"
+
+
+def _imported_names(tree: ast.Module) -> Dict[str, str]:
+    """Map local name -> ``module.attr`` for ``from X import Y [as Z]``."""
+    imported: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                imported[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imported
+
+
+@register
+class Determinism(Rule):
+    name = "determinism"
+    description = (
+        "no wall-clock reads or ambient/unseeded RNG outside budget.py and "
+        "the serve timing paths"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if module.is_test:
+            return False
+        if module.relpath == "src/repro/budget.py":
+            return False
+        if module.in_package("serve"):
+            return False
+        return module.relpath.startswith("src/repro/")
+
+    def check(self, module: ModuleInfo, context: Context) -> Iterator[Finding]:
+        imported = _imported_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                base, attr = func.value.id, func.attr
+                if base == "time" and attr in CLOCK_READS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"wall-clock read time.{attr}() — route timing through "
+                        "repro.budget.Budget (injectable clock)",
+                    )
+                elif base in ("datetime", "date") and attr in DATETIME_READS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"wall-clock read {base}.{attr}()",
+                    )
+                elif base == "random" and attr != RANDOM_CTOR:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"ambient RNG random.{attr}() uses the entropy-seeded "
+                        "process-global generator — use a seeded "
+                        "random.Random(seed)",
+                    )
+                elif base == "random" and attr == RANDOM_CTOR and not node.args:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "random.Random() without a seed is entropy-seeded — "
+                        "pass an explicit seed",
+                    )
+            elif isinstance(func, ast.Name):
+                origin = imported.get(func.id)
+                if origin is None:
+                    continue
+                top, _, leaf = origin.rpartition(".")
+                if top == "time" and leaf in CLOCK_READS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"wall-clock read {func.id}() (from time import {leaf})",
+                    )
+                elif origin == "random.Random" and not node.args:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        "Random() without a seed is entropy-seeded — pass an "
+                        "explicit seed",
+                    )
+                elif top == "random" and leaf != RANDOM_CTOR:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"ambient RNG {func.id}() (from random import {leaf})",
+                    )

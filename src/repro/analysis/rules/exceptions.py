@@ -1,0 +1,85 @@
+"""Rule ``exception-hygiene``: no silent blanket handlers in the engine.
+
+The PR-6 robustness contract is that *every* non-verdict has a typed
+:class:`repro.budget.UnknownReason` and that budget exhaustion
+(:class:`repro.budget.BudgetExceeded`) always unwinds a check — a bare
+``except:`` or ``except Exception:`` deep in an engine layer can swallow
+both, turning a clean structured timeout into a wrong answer or a silent
+stall (the seed codebase's blanket handler in ``solver.py`` did exactly
+that before PR 6 replaced it).
+
+Flagged in engine layers (``automata/``, ``core/``, ``eqsolver/``,
+``lia/``, ``solver/``, ``strings/``): any ``except`` clause catching
+nothing-in-particular (bare), ``Exception`` or ``BaseException``, unless
+the handler visibly keeps the contract by
+
+* re-raising (a bare ``raise``, or raising/propagating
+  ``BudgetExceeded``), or
+* converting to the typed layer (the handler references
+  ``UnknownReason``/``UnknownKind``/``BudgetExceeded``).
+
+Boundary layers (``serve/``, ``smtlib/``, ``benchgen/``, ``testing/``)
+are exempt: a server keeping a connection alive or a best-effort warmup
+loop legitimately catches everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Context, Finding, Rule, register
+from ..loader import ModuleInfo
+
+ENGINE_PACKAGES = ("automata", "core", "eqsolver", "lia", "solver", "strings")
+#: names whose appearance in a handler shows typed-reason conversion
+TYPED_NAMES = frozenset({"UnknownReason", "UnknownKind", "BudgetExceeded"})
+
+
+def _blanket(handler: ast.ExceptHandler) -> str:
+    """The blanket class name this handler catches, or ''."""
+    if handler.type is None:
+        return "bare except"
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for entry in types:
+        if isinstance(entry, ast.Name) and entry.id in ("Exception", "BaseException"):
+            return f"except {entry.id}"
+    return ""
+
+
+def _keeps_contract(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Name) and node.id in TYPED_NAMES:
+            return True
+    return False
+
+
+@register
+class ExceptionHygiene(Rule):
+    name = "exception-hygiene"
+    description = (
+        "no bare/blanket except in engine layers unless it re-raises or "
+        "converts to a typed UnknownReason"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return any(module.in_package(package) for package in ENGINE_PACKAGES)
+
+    def check(self, module: ModuleInfo, context: Context) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            blanket = _blanket(node)
+            if not blanket or _keeps_contract(node):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"{blanket} swallows BudgetExceeded and engine errors — "
+                "catch the specific exception, re-raise, or convert to a "
+                "typed UnknownReason",
+            )

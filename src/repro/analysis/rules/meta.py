@@ -1,0 +1,52 @@
+"""Meta rule: suppression comments must be well formed and justified.
+
+``# repro: allow(<rule>): <reason>`` is the only escape hatch the other
+rules honour, so its own hygiene is load-bearing: a suppression without a
+reason is an unaudited exemption, and a suppression naming a rule that
+does not exist is (at best) a typo silently suppressing nothing.  Both
+are violations — and deliberately *cannot* be suppressed themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..framework import Context, Finding, Rule, register
+from ..loader import ModuleInfo
+
+
+@register
+class SuppressionHygiene(Rule):
+    name = "suppression"
+    description = (
+        "every `# repro: allow(rule)` carries a written reason and names a "
+        "registered rule"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        # Suppressions appear anywhere findings do, tests included.
+        return True
+
+    def check(self, module: ModuleInfo, context: Context) -> Iterator[Finding]:
+        from ..framework import rule_names
+
+        known = set(rule_names())
+        for line, text in module.malformed_allows:
+            yield self.finding(
+                module,
+                line,
+                "malformed suppression (expected "
+                f"`# repro: allow(<rule>): <reason>`): {text}",
+            )
+        for line, specs in sorted(module.suppressions.items()):
+            for spec in specs:
+                if spec.rule == self.name:
+                    yield self.finding(
+                        module, line, "the suppression rule cannot be suppressed"
+                    )
+                elif spec.rule not in known:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"suppression names unknown rule {spec.rule!r}",
+                    )

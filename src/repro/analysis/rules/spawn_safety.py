@@ -1,0 +1,112 @@
+"""Rule ``spawn-safety``: only spawn-picklable objects cross to workers.
+
+The serve fleet uses the ``spawn`` multiprocessing context (the only one
+safe with an asyncio parent), so everything handed to
+``executor.submit(...)`` or ``ProcessPoolExecutor(initializer=...,
+initargs=...)`` is pickled in the parent and unpickled in a fresh
+interpreter.  Lambdas, functions/classes defined inside another function,
+and bound methods of local objects all fail that round-trip — but only at
+*runtime*, in the worker, where the traceback surfaces as a broken pool
+and a retried job (``tests/test_serve_pickle.py`` exists because of
+exactly this failure mode).
+
+Statically flagged inside ``serve/``:
+
+* a ``lambda`` anywhere in a submit/initializer argument,
+* a name that resolves to a ``def``/``class`` nested inside a function in
+  the same module (module-level callables pickle by qualified name and
+  are fine), and
+* comprehensions producing lambdas in ``initargs``.
+
+The rule is syntactic and local by design: it will not chase a callable
+through a variable reassignment, but the fleet code keeps submissions
+direct (``submit(run_job, spec)``), so the simple form is the one worth
+locking in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from ..framework import Context, Finding, Rule, register
+from ..loader import ModuleInfo
+
+
+def _locally_defined(tree: ast.Module) -> Set[str]:
+    """Names of defs/classes nested inside any function scope."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(
+                    child,
+                    inside_function
+                    or isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)),
+                )
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+@register
+class SpawnSafety(Rule):
+    name = "spawn-safety"
+    description = (
+        "no lambdas, closures or locally-defined classes submitted to the "
+        "spawn-based worker fleet"
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.in_package("serve")
+
+    def check(self, module: ModuleInfo, context: Context) -> Iterator[Finding]:
+        nested_names = _locally_defined(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            arguments: List[ast.expr] = []
+            where = ""
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "submit":
+                arguments = list(node.args) + [kw.value for kw in node.keywords]
+                where = "submit(...)"
+            elif isinstance(func, ast.Name) and func.id == "ProcessPoolExecutor":
+                for keyword in node.keywords:
+                    if keyword.arg in ("initializer", "initargs"):
+                        arguments.append(keyword.value)
+                where = "ProcessPoolExecutor(...)"
+            if not arguments:
+                continue
+            for argument in arguments:
+                for finding in self._audit(module, argument, where, nested_names):
+                    yield finding
+
+    def _audit(
+        self,
+        module: ModuleInfo,
+        argument: ast.expr,
+        where: str,
+        nested_names: Set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(argument):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"lambda passed through {where} cannot be pickled by the "
+                    "spawn context — use a module-level function",
+                )
+            elif isinstance(node, ast.Name) and node.id in nested_names:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{node.id!r} is defined inside a function and passed "
+                    f"through {where} — spawn pickling needs module-level "
+                    "defs/classes",
+                )

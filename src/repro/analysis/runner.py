@@ -1,0 +1,58 @@
+"""Drive the rules over the loaded modules and apply suppressions."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .framework import Context, Finding, Report, Rule, select_rules
+from .loader import DEFAULT_SCAN, ModuleInfo, load_modules
+
+
+def analyze(
+    modules: Sequence[ModuleInfo], rules: Optional[Sequence[Rule]] = None
+) -> Report:
+    """Run ``rules`` (default: all registered) over ``modules``."""
+    chosen = list(rules) if rules is not None else select_rules(None)
+    context = Context(modules)
+    findings: List[Finding] = []
+    for rule in chosen:
+        for module in modules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module, context):
+                # The meta rule polices the suppressions themselves, so its
+                # findings cannot be allowed away.
+                if finding.rule != "suppression":
+                    spec = module.allowed(finding.rule, finding.line)
+                    if spec is not None:
+                        finding.suppressed = True
+                        finding.suppression_reason = spec.reason
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.relpath, f.line, f.rule))
+    return Report(
+        findings=findings,
+        files_scanned=len(modules),
+        rules_run=[rule.name for rule in chosen],
+    )
+
+
+def analyze_paths(
+    root: Optional[str] = None,
+    scan: Sequence[str] = DEFAULT_SCAN,
+    rule_names: Optional[Sequence[str]] = None,
+) -> Report:
+    """Load sources under ``root`` and analyze them; records the runtime.
+
+    This is the function both the CLI and the CI lint job go through, so
+    the reported ``runtime_seconds`` covers parsing *and* rule execution —
+    the number the lint job's budget assertion gates on.
+    """
+    # The analyzer times itself so CI can assert it stays cheap enough to
+    # never be skipped; this is tooling-side instrumentation, not engine
+    # behaviour.
+    started = time.perf_counter()  # repro: allow(determinism): analyzer self-timing feeds the lint job's runtime budget gate
+    modules = load_modules(root=root, scan=scan)
+    report = analyze(modules, rules=select_rules(rule_names))
+    report.runtime_seconds = time.perf_counter() - started  # repro: allow(determinism): analyzer self-timing feeds the lint job's runtime budget gate
+    return report

@@ -134,6 +134,9 @@ class DenseNfa:
         self._key: Optional[Tuple] = None
         # Flat array-backed edge list (symbol index, -1 for ε): compact,
         # cache-friendly iteration for conversions and serialisation.
+        # Charge the matrix scan at the door so every construction site —
+        # not just from_nfa — pays for the build.
+        checkpoint("automata.dense", (len(symbols) + 1) * self._words)
         srcs: array = array("l")
         syms: array = array("l")
         dsts: array = array("l")
@@ -229,6 +232,7 @@ class DenseNfa:
         compiled ids are already contiguous), so consumers pay no second
         compilation.
         """
+        checkpoint("automata.dense", (len(self.symbols) + 1) * self._words)
         nfa = Nfa(self.alphabet)
         nfa.states = set(range(self.n))
         nfa.initial = set(iter_bits(self.initial))
@@ -258,6 +262,7 @@ class DenseNfa:
             if on_eps:
                 by_symbol[EPSILON] = on_eps
         if self.state_ids == tuple(range(self.n)):
+            # repro: allow(cache-discipline): priming a freshly built Nfa with its own dense form — nothing stale can be cached yet
             nfa._dense = self
         return nfa
 
@@ -338,6 +343,7 @@ class DenseNfa:
         """Per-state union of all successor masks (every symbol + ε)."""
         masks = self._out_masks
         if masks is None:
+            checkpoint("automata.dense", (len(self.rows) + 1) * self._words)
             masks = [0] * self.n
             for row in self.rows:
                 for s in range(self.n):
@@ -354,6 +360,7 @@ class DenseNfa:
         """Per-state union of all predecessor masks (transposed adjacency)."""
         masks = self._in_masks
         if masks is None:
+            checkpoint("automata.dense", (len(self.rows) + 1) * self._words)
             masks = [0] * self.n
             for row in self.rows:
                 for s in range(self.n):

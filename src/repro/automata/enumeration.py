@@ -115,7 +115,9 @@ def sample_word(nfa, max_length: int, rng: Optional[random.Random] = None) -> Op
     distribution is not uniform; the function simply performs a random walk
     biased towards states that can still reach a final state.
     """
-    rng = rng or random.Random()
+    # A fixed default seed keeps sampling reproducible run-to-run; callers
+    # wanting variety pass their own Random.
+    rng = rng or random.Random(0)
     words = list(words_up_to(nfa, max_length))
     if not words:
         return None

@@ -153,6 +153,7 @@ def canonical_signature(nfa, alphabet: Optional[Iterable[str]] = None) -> Tuple:
         order[state] = len(order)
     index = 0
     while index < len(queue):
+        checkpoint("automata.minimize", 1)
         state = queue[index]
         index += 1
         for symbol in sigma:

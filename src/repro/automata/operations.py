@@ -134,6 +134,7 @@ def remove_epsilon(nfa) -> Nfa:
             by_symbol[symbol] = on_symbol
     result._sync_state_counter()
     if ids == tuple(range(eps_free.n)):
+        # repro: allow(cache-discipline): priming the freshly materialised Nfa with the dense form it was built from — the two are the same automaton
         result._dense = eps_free
     return result
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from . import operations as ops
+from ..budget import checkpoint
 from .nfa import Nfa
 
 DEFAULT_ALPHABET = tuple("abcdefghijklmnopqrstuvwxyz0123456789")
@@ -177,6 +178,9 @@ class _Parser:
         if char is None:
             raise RegexError(f"unexpected end of pattern: {self.pattern!r}")
         self.pos += 1
+        # One budget step per consumed character bounds pathological
+        # patterns; every parser loop consumes through here.
+        checkpoint("regex.parse")
         return char
 
     def expect(self, char: str) -> None:

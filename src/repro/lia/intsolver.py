@@ -50,7 +50,7 @@ from fractions import Fraction
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..budget import Budget
+from ..budget import Budget, checkpoint
 from .simplex import Constraint, Simplex, SimplexResult
 
 
@@ -120,6 +120,10 @@ def _eliminate_pass(
     eliminated: List[Tuple[str, LinExpr]] = []
     kept_equalities: List[Constraint] = []
     while equalities:
+        # Substitution can grow the remaining expressions, so the
+        # elimination chain itself must stay under the ambient budget
+        # (the PR-6 presolve stall was exactly this shape).
+        checkpoint("lia.eliminate")
         constraint = equalities.pop()
         expr = constraint.expr
         if not expr.coeffs:
@@ -381,6 +385,8 @@ def _omega_check(
     all_exact = True
 
     while rows:
+        # Each elimination can square the row count; charge per round.
+        checkpoint("lia.omega", 1 + len(rows))
         variables = {name for coeffs, _c, _t in rows for name in coeffs}
         if not variables:
             break

@@ -633,6 +633,7 @@ class DpllSolver:
         self._bump_clause(conflict_index)
         used: List[object] = [self._clause_participants.get(conflict_index, _EMPTY)]
         root_parts = self._root_participants
+        # repro: allow(checkpoint-coverage): resolution walks the trail at most once per conflict, and the search loop checkpoints lia.sat on every conflict
         while True:
             for q in reason_lits:
                 if p is not None and q == p:
@@ -695,6 +696,7 @@ class DpllSolver:
         stack = [literal]
         marked: List[int] = []
         budget = _MINIMIZE_BUDGET
+        # repro: allow(checkpoint-coverage): self-bounded by the _MINIMIZE_BUDGET node counter, which bails out before the loop can run long
         while stack:
             top = stack.pop()
             reason_index = self._reason_of[abs(top)]

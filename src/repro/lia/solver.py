@@ -593,6 +593,7 @@ class _Context:
         whole core at once.
         """
         position = 0
+        # repro: allow(checkpoint-coverage): iterations are capped by the shrink budget parameter, and every test() call is a fully checkpointed theory check
         while position < len(atoms) and budget > 0 and len(atoms) > 2:
             var = atoms[position]
             rest = [self._atom_constraint[other] for other in atoms if other != var]

@@ -50,6 +50,14 @@ _FLAGS = None
 #: number of automata the warm payload seeded into this worker's interner
 _WARM_SEEDED = 0
 
+#: one NormalizationCache per worker process, shared by every job it runs:
+#: the second job solving a related script hits the first job's compiled
+#: regexes, word automata and membership intersections instead of
+#: rebuilding them.  ``run_job`` marks all entries warm before each job,
+#: so cross-job reuse surfaces as ``normalization_warm_hits`` in the job's
+#: statistics (the same pattern as ``automata_interning_warm_hits``).
+_NORMALIZATION_CACHE = None
+
 #: how often (in budget checkpoints) the cancellation flag is polled; the
 #: flag is one shared-memory integer read, so a small interval keeps the
 #: cancel latency at "a few engine checkpoints" for negligible cost (a
@@ -137,7 +145,17 @@ def run_job(spec: JobSpec) -> JobOutcome:
     hang (the server answers for the job at its deadline).
     """
     from ..smtlib import ScriptRunner, SmtLibError
+    from ..strings.normal_form import NormalizationCache
     from .portfolio import config_for
+
+    global _NORMALIZATION_CACHE
+    if _NORMALIZATION_CACHE is None:
+        _NORMALIZATION_CACHE = NormalizationCache()
+    else:
+        # Everything cached by earlier jobs is "warm" for this one; hits on
+        # those entries flow through Session.statistics() as
+        # normalization_warm_hits.
+        _NORMALIZATION_CACHE.mark_all_warm()
 
     started = time.time()
     outcome = JobOutcome(strategy=spec.strategy, worker_pid=os.getpid())
@@ -154,7 +172,11 @@ def run_job(spec: JobSpec) -> JobOutcome:
     # Collect output through the runner's callback: lines survive even when
     # an injected interrupt aborts the script halfway through.
     output_lines = []
-    runner = ScriptRunner(config=config, out=output_lines.append)
+    runner = ScriptRunner(
+        config=config,
+        out=output_lines.append,
+        normalization_cache=_NORMALIZATION_CACHE,
+    )
     try:
         runner.run(spec.script, name=spec.name, budget=budget)
     except SmtLibError as error:

@@ -52,9 +52,13 @@ class ScriptRunner:
         self,
         config: Optional["SolverConfig"] = None,
         out: Optional[Callable[[str], None]] = None,
+        normalization_cache=None,
     ) -> None:
         self.config = config
         self.out = out
+        #: optional caller-owned NormalizationCache shared by every session
+        #: this runner creates (the serve workers pass one per process)
+        self.normalization_cache = normalization_cache
         self.session: Optional["Session"] = None
         #: every check-sat answer of the last run, in order
         self.verdicts: List[str] = []
@@ -98,7 +102,12 @@ class ScriptRunner:
             for command in script.commands
             if isinstance(command, DeclareConst)
         }
-        session = Session(config=self.config, alphabet=script.alphabet, name=name)
+        session = Session(
+            config=self.config,
+            alphabet=script.alphabet,
+            name=name,
+            normalization_cache=self.normalization_cache,
+        )
         self.session = session
         self.verdicts = []
         self.reasons = []

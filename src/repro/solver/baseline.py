@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from itertools import permutations
 from typing import List, Optional, Tuple
 
+from ..budget import checkpoint
 from ..lia import ne as lia_ne
 from ..lia import gt as lia_gt
 from ..strings.ast import (
@@ -75,6 +76,8 @@ class EagerReductionSolver:
         """Alternatives for "lhs and rhs differ": length or a letter mismatch."""
         alternatives: List[List] = [[length_atom]]
         for a in alphabet:
+            # |Σ|² alternatives: the baseline's blow-up must stay budgeted.
+            checkpoint("solver.baseline", len(alphabet))
             for b in alphabet:
                 if a == b:
                     continue
@@ -105,6 +108,7 @@ class EagerReductionSolver:
                 [LengthConstraint(lia_gt(_term_length(atom.lhs), _term_length(atom.rhs)))]
             ]
             for a in alphabet:
+                checkpoint("solver.baseline", len(alphabet))
                 for b in alphabet:
                     if a == b:
                         continue

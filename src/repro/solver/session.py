@@ -61,11 +61,14 @@ class Session:
         config: Optional[SolverConfig] = None,
         alphabet: Sequence[str] = ("a", "b"),
         name: str = "",
+        normalization_cache=None,
     ) -> None:
         self.config = config or SolverConfig()
         self.alphabet: Tuple[str, ...] = tuple(alphabet)
         self.name = name
-        self._pipeline = IncrementalPipeline(self.config)
+        self._pipeline = IncrementalPipeline(
+            self.config, normalization_cache=normalization_cache
+        )
         #: assertion stack: one list of (name, atom) pairs per level
         self._frames: List[List[Tuple[str, Atom]]] = [[]]
         #: names of the active assertions (kept in sync with the frames so
@@ -105,6 +108,7 @@ class Session:
             raise ValueError("cannot pop a negative number of levels")
         if levels >= len(self._frames):
             raise IndexError("pop past the base assertion level")
+        # repro: allow(checkpoint-coverage): pops only already-asserted frames — bounded by the assertion stack, no solving happens here
         for _ in range(levels):
             for name, _atom in self._frames.pop():
                 self._active_names.discard(name)

@@ -217,9 +217,15 @@ class IncrementalPipeline:
     problems sharing long prefixes.
     """
 
-    def __init__(self, config: Optional[SolverConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SolverConfig] = None,
+        normalization_cache: Optional[NormalizationCache] = None,
+    ) -> None:
         self.config = config or SolverConfig()
-        self.normalization_cache = NormalizationCache()
+        # An externally supplied cache outlives this pipeline: the serve
+        # workers share one per process so jobs warm each other up.
+        self.normalization_cache = normalization_cache or NormalizationCache()
         self._normal_forms: _Lru = _Lru(64)
         self._decompositions: _Lru = _Lru(32)
         self._components: _Lru = _Lru(self.config.session_encoding_cache)
@@ -283,6 +289,7 @@ class IncrementalPipeline:
         dense_before = dense_stats_snapshot()
         cache_hits_before = self.normalization_cache.hits
         cache_misses_before = self.normalization_cache.misses
+        cache_warm_before = self.normalization_cache.warm_hits
         try:
             with watch.activate():
                 if needs_reduction(problem):
@@ -326,6 +333,11 @@ class IncrementalPipeline:
             result.stats.get("automata_cache_misses", 0)
             + self.normalization_cache.misses
             - cache_misses_before
+        )
+        result.stats["normalization_warm_hits"] = (
+            result.stats.get("normalization_warm_hits", 0)
+            + self.normalization_cache.warm_hits
+            - cache_warm_before
         )
         return result
 

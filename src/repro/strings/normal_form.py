@@ -137,6 +137,11 @@ class NormalizationCache:
         self._kept_ids: set = set()
         self.hits = 0
         self.misses = 0
+        #: hits on entries that predate the current job (see
+        #: :meth:`mark_all_warm`) — the serve worker's proof that sharing
+        #: one cache across jobs actually pays
+        self.warm_hits = 0
+        self._warm: set = set()
 
     def keep(self, nfa: Nfa) -> int:
         """Pin an externally-supplied automaton and return its stable id."""
@@ -145,11 +150,31 @@ class NormalizationCache:
             self._keepalive.append(nfa)
         return id(nfa)
 
+    def tables(self) -> Tuple[Dict, ...]:
+        """Every memo table, for bulk operations like warm-marking."""
+        return (self.languages, self.words, self.universal, self.intersections)
+
+    def record_hit(self, table: Dict, key) -> None:
+        """Count a lookup hit; warm entries (pre-job) count twice over."""
+        self.hits += 1
+        if (id(table), key) in self._warm:
+            self.warm_hits += 1
+
+    def mark_all_warm(self) -> None:
+        """Stamp every current entry as *warm* (carried over from earlier
+        work).  A serve worker calls this between jobs so subsequent hits on
+        carried-over entries surface as ``normalization_warm_hits``."""
+        self._warm = {
+            (id(table), key) for table in self.tables() for key in table
+        }
+
     def store(self, table: Dict, key, value) -> None:
         """Insert into one memo table, evicting oldest entries over capacity."""
         table[key] = value
         while len(table) > self.capacity:
-            table.pop(next(iter(table)))
+            evicted = next(iter(table))
+            table.pop(evicted)
+            self._warm.discard((id(table), evicted))
 
 
 #: membership key: content-addressed description of one membership constraint
@@ -197,7 +222,7 @@ class _Normalizer:
             nfa = intern_nfa(Nfa.from_word(value))
             self.cache.store(self.cache.words, value, nfa)
         else:
-            self.cache.hits += 1
+            self.cache.record_hit(self.cache.words, value)
         return nfa
 
     def literal_var(self, value: str) -> str:
@@ -231,7 +256,7 @@ class _Normalizer:
         if self.cache is not None:
             cached = self.cache.languages.get(key)
             if cached is not None:
-                self.cache.hits += 1
+                self.cache.record_hit(self.cache.languages, key)
                 return key, cached
             self.cache.misses += 1
         nfa = language if isinstance(language, Nfa) else compile_regex(language, self.alphabet)
@@ -368,7 +393,7 @@ class _Normalizer:
         if self.cache is not None:
             cached = self.cache.intersections.get(cache_key)
             if cached is not None:
-                self.cache.hits += 1
+                self.cache.record_hit(self.cache.intersections, cache_key)
                 return cached
             self.cache.misses += 1
         combined = nfas[0]

@@ -184,3 +184,85 @@ def test_delay_fault_stretches_stage_past_real_deadline():
     assert result.status in (Status.TIMEOUT, Status.UNKNOWN)
     if result.status is Status.TIMEOUT:
         assert result.reason.kind is UnknownKind.TIMEOUT
+
+
+# ----------------------------------------------------------------------
+# Stage-glob matching semantics (unit level, no solving)
+# ----------------------------------------------------------------------
+
+
+def test_empty_glob_matches_nothing():
+    # fnmatchcase("x", "") is only true for the empty string, and no hook
+    # event carries an empty stage name — an empty pattern is inert.
+    spec = FaultSpec("", at=1)
+    injector = FaultInjector([spec])
+    injector("automata.dense", 1)
+    injector("enter:solve", 1)
+    assert spec.fired == 0
+    # the empty stage itself would match; the hook never emits one, but
+    # the semantics are fnmatch's, not a special case
+    with pytest.raises(InjectedFault):
+        injector("", 1)
+
+
+def test_star_matches_dotted_stages_but_prefix_needs_its_own_star():
+    # "*" crosses "." boundaries (fnmatch is not a path matcher): a bare
+    # star sees every stage, while "automata" without a star matches only
+    # the exact name, not "automata.dense".
+    with pytest.raises(InjectedFault):
+        FaultInjector([FaultSpec("*", at=1)])("automata.dense", 1)
+    # exact name without glob: no fire on the dotted sub-stage
+    injector = FaultInjector([FaultSpec("automata", at=1)])
+    injector("automata.dense", 1)
+    assert injector.specs[0].fired == 0
+    with pytest.raises(InjectedFault):
+        FaultInjector([FaultSpec("automata.*", at=1)])("automata.dense", 1)
+    # "automata.*" requires the dot: the bare parent stage does not match
+    injector = FaultInjector([FaultSpec("automata.*", at=1)])
+    injector("automata", 1)
+    assert injector.specs[0].fired == 0
+
+
+def test_star_pattern_counts_per_stage_not_globally():
+    # ``at`` compares against the *per-stage* counter the budget hook
+    # passes, so "*" at=2 fires on the second event of any single stage,
+    # not the second event overall.
+    spec = FaultSpec("*", at=2)
+    injector = FaultInjector([spec])
+    injector("automata.dense", 1)
+    injector("lia.sat", 1)
+    assert spec.fired == 0
+    with pytest.raises(InjectedFault):
+        injector("lia.sat", 2)
+
+
+def test_overlapping_specs_fire_in_list_order():
+    # Two specs matching the same coordinate: the earlier spec in the
+    # list wins (its trigger raises before the later one is consulted),
+    # and the later spec stays armed for a future event.
+    first = FaultSpec("automata.*", at=1, action="raise")
+    second = FaultSpec("*", at=1, action="interrupt")
+    injector = FaultInjector([first, second])
+    with pytest.raises(InjectedFault):
+        injector("automata.dense", 1)
+    assert first.fired == 1
+    assert second.fired == 0
+    # the second spec still fires on the next matching coordinate
+    with pytest.raises(KeyboardInterrupt):
+        injector("lia.sat", 1)
+    assert second.fired == 1
+
+
+def test_repeat_caps_firings_and_reset_rearms():
+    spec = FaultSpec("lia.*", at=1, action="delay", delay=0.0, repeat=2)
+    injector = FaultInjector([spec])
+    injector("lia.sat", 1)
+    injector("lia.omega", 1)
+    assert spec.fired == 2
+    # exhausted: a third matching coordinate is ignored
+    injector("lia.eliminate", 1)
+    assert spec.fired == 2
+    injector.reset()
+    assert spec.fired == 0
+    injector("lia.sat", 1)
+    assert spec.fired == 1

@@ -292,6 +292,32 @@ def test_smtlib_cli_server_mode_connection_refused():
     assert "cannot connect" in result.stderr
 
 
+def test_normalization_cache_shared_across_jobs():
+    # A single worker so consecutive jobs land in the same process: the
+    # second job must hit the first job's NormalizationCache entries (the
+    # per-process cache is shared across jobs and warm-marked between
+    # them), which surfaces as normalization_warm_hits in the stats.
+    script = (
+        "(set-logic QF_S)(declare-const x String)"
+        '(assert (str.in_re x (re.++ (str.to_re "ab") (re.* (str.to_re "c")))))'
+        "(assert (= (str.len x) 4))(check-sat)"
+    )
+    # One strategy: with a portfolio, job 1's second strategy run would
+    # already score warm hits and blur the cross-job signal.
+    proc = ServeServerProc("--workers", "1", "--portfolio", "encoding")
+    try:
+        with proc.client() as client:
+            first = client.solve(script, name="warmup")
+            # A distinct name defeats the server's result dedup cache, so
+            # the second run really executes in the worker.
+            second = client.solve(script + "(check-sat)", name="rerun")
+        assert first["ok"] and second["ok"]
+        assert first["stats"].get("normalization_warm_hits", 0) == 0
+        assert second["stats"]["normalization_warm_hits"] > 0
+    finally:
+        proc.kill()
+
+
 def test_clean_shutdown_reaps_workers():
     # A dedicated short-lived server: shutdown must exit 0 with no
     # leftover children (ProcessPoolExecutor.shutdown(wait=True) joins
