@@ -27,6 +27,12 @@ Four workloads are timed:
 * **e2e** — the scaled-down end-to-end benchmark suite
   (:func:`repro.benchgen.suite.benchmark_sets`, scale 1) under the position
   solver with a 20 s per-instance timeout.
+* **pipelines** — the string-pipeline workload
+  (:mod:`repro.benchgen.pipelines`): symbolic pipe programs compiled to
+  deep substr/replace/concat chains, each carrying an exact ground truth
+  from concrete execution.  The gate (quick mode included): every curated
+  instance *decided*, 0 wrong verdicts, every sat model verified by the
+  semantics oracle.
 * **automata** — the integer-dense automata core (bitset subset
   construction, lazy product emptiness, dense inclusion) timed against the
   seed's set-based implementations kept in ``repro.automata.legacy``, on
@@ -98,6 +104,11 @@ AUTOMATA_PAIRS = 12
 AUTOMATA_QUICK_PAIRS = 4
 #: per-check timeout of the session workload
 SESSION_TIMEOUT = 60.0
+#: per-instance timeout of the pipelines workload (curated instances all
+#: answer in a couple of seconds; the cap matches the corpus gate)
+PIPELINES_TIMEOUT = 30.0
+#: pipeline instances run in quick mode
+PIPELINES_QUICK_COUNT = 6
 #: chain length of the session workload (quick mode runs a prefix)
 SESSION_STEPS = 12
 SESSION_QUICK_STEPS = 6
@@ -434,6 +445,52 @@ def run_e2e(baseline: Dict, quick: bool) -> Dict:
     return summary
 
 
+def run_pipelines(quick: bool) -> Dict:
+    from repro.benchgen.suite import benchmark_sets
+    from repro.strings.semantics import eval_problem
+
+    items = benchmark_sets(scale=1, seed=7)["pipeline"]
+    if quick:
+        items = items[:PIPELINES_QUICK_COUNT]
+    instances: Dict[str, Dict] = {}
+    wrong_verdicts = 0
+    undecided = 0
+    models_unverified = 0
+    total = 0.0
+    for name, problem, expected in items:
+        result, elapsed = _solve(problem, PIPELINES_TIMEOUT, incremental=True)
+        status = result.status.value
+        model_verified = None
+        if result.is_sat:
+            model = result.model
+            model_verified = model is not None and eval_problem(
+                problem, model.strings, model.integers
+            )
+            if not model_verified:
+                models_unverified += 1
+        if expected is not None and result.solved and status != expected:
+            wrong_verdicts += 1
+        if not result.solved:
+            undecided += 1
+        total += elapsed
+        instances[name] = {
+            "status": status,
+            "expected": expected,
+            "seconds": round(elapsed, 3),
+            "model_verified": model_verified,
+            "stats": result.stats,
+        }
+        print(f"[pipelines] {name}: {status} (expected {expected}) in {elapsed:.2f}s")
+    return {
+        "timeout": PIPELINES_TIMEOUT,
+        "total_seconds": round(total, 2),
+        "wrong_verdicts": wrong_verdicts,
+        "undecided": undecided,
+        "models_unverified": models_unverified,
+        "instances": instances,
+    }
+
+
 def _automata_instances(quick: bool):
     """Seeded NFA families over a two-symbol alphabet.
 
@@ -579,6 +636,7 @@ def run(quick: bool = False, output: Optional[str] = None) -> Dict:
         "session": run_session(quick),
         "cuts": run_cuts(quick),
         "distinct": run_distinct(quick),
+        "pipelines": run_pipelines(quick),
         "e2e": run_e2e(baseline, quick),
     }
     path = output or DEFAULT_OUTPUT_PATH

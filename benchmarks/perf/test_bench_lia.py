@@ -89,6 +89,13 @@ def test_bench_lia(bench_selected, tmp_path_factory):
             assert entry["model_verified"] is True, (name, entry)
     e2e = report["e2e"]
     assert e2e["wrong_verdicts"] == 0, e2e["verdict_changes"]
+    # Pipelines workload: every curated pipe instance must be *decided*
+    # (the corpus gate depends on it), agree with its concrete-execution
+    # ground truth, and back every sat with a semantics-verified model.
+    pipelines = report["pipelines"]
+    assert pipelines["wrong_verdicts"] == 0, pipelines["instances"]
+    assert pipelines["undecided"] == 0, pipelines["instances"]
+    assert pipelines["models_unverified"] == 0, pipelines["instances"]
 
     if not quick:
         # Full run: check the headline speedups the incremental rework

@@ -1,10 +1,11 @@
 """Benchmark workload generators and the evaluation harness (§8)."""
 
-from . import position_hard, sat_reductions, symbolic_execution
+from . import pipelines, position_hard, sat_reductions, symbolic_execution
 from .harness import Campaign, RunRecord, TableRow, run_campaign
 from .suite import benchmark_sets, solver_factories
 
 __all__ = [
+    "pipelines",
     "position_hard",
     "sat_reductions",
     "symbolic_execution",

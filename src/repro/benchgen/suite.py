@@ -13,14 +13,14 @@ from typing import Dict, List, Optional, Sequence
 
 from ..lia import LiaConfig
 from ..solver import EagerReductionSolver, EnumerativeSolver, PositionSolver, SolverConfig
-from . import position_hard, symbolic_execution
+from . import pipelines, position_hard, symbolic_execution
 from .harness import Instance
 
 
 def benchmark_sets(scale: int = 1, seed: int = 7) -> Dict[str, List[Instance]]:
-    """Build the four benchmark sets, ``scale`` multiplying the instance counts.
+    """Build the five benchmark sets, ``scale`` multiplying the instance counts.
 
-    scale=1 gives a quick suite (≈45 instances) suited to CI; the paper-shaped
+    scale=1 gives a quick suite (≈57 instances) suited to CI; the paper-shaped
     run in ``benchmarks/`` uses a larger scale.
     """
     return {
@@ -28,6 +28,7 @@ def benchmark_sets(scale: int = 1, seed: int = 7) -> Dict[str, List[Instance]]:
         "django-like": list(symbolic_execution.django_like(12 * scale, seed=seed + 1)),
         "thefuck-like": list(symbolic_execution.thefuck_like(9 * scale, seed=seed + 2)),
         "position-hard": list(position_hard.generate(12 * scale, seed=seed + 3)),
+        "pipeline": list(pipelines.generate(12 * scale, seed=seed + 4)),
     }
 
 

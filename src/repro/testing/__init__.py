@@ -1,5 +1,15 @@
-"""Test support: deterministic fault injection for the budget layer."""
+"""Test support: deterministic fault injection and the differential fuzzer."""
 
 from .faults import FaultInjector, FaultSpec, InjectedFault, seeded_faults
+from .fuzz import DifferentialFuzzer, FuzzFailure, FuzzReport, default_configs
 
-__all__ = ["FaultInjector", "FaultSpec", "InjectedFault", "seeded_faults"]
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "seeded_faults",
+    "DifferentialFuzzer",
+    "FuzzFailure",
+    "FuzzReport",
+    "default_configs",
+]
